@@ -1,0 +1,72 @@
+// analyze runs the measurement system's analysis routines over a
+// trace log and prints a report: communication statistics, the
+// computation's structure, the parallelism achieved, per-process
+// blocked time, and the deduced event ordering (paper sections 3.3 and
+// 4.1).
+//
+//	analyze [-binary] [file]
+//
+// With no file argument it reads standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dpm/internal/analysis"
+	"dpm/internal/trace"
+)
+
+func main() {
+	binary := flag.Bool("binary", false, "input is a raw meter byte stream")
+	timeline := flag.Bool("timeline", false, "append a per-process event timeline")
+	validate := flag.Bool("validate", false, "append trace consistency diagnostics")
+	dot := flag.Bool("dot", false, "print only the structure graph in Graphviz dot form")
+	width := flag.Int("width", 72, "timeline width in columns")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		data, err = os.ReadFile(flag.Arg(0))
+	default:
+		log.Fatal("usage: analyze [-binary] [file]")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var events []trace.Event
+	if *binary {
+		events, err = trace.ParseBinary(data)
+	} else {
+		events, err = trace.ParseLog(data)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dot {
+		fmt.Print(analysis.Structure(events, nil).Dot())
+		return
+	}
+	report, err := analysis.Report(events, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+	if *timeline {
+		fmt.Printf("\n%s", analysis.Timeline(events, *width))
+	}
+	if *validate {
+		diags := analysis.Validate(events, nil)
+		fmt.Printf("\nconsistency check: %d finding(s)\n", len(diags))
+		for _, d := range diags {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// dpmon is the interactive control process of the distributed
+// programs monitor: the command interpreter of the paper's section
+// 4.3, running over a simulated four-machine 4.2BSD cluster.
+//
+// The cluster (machines red, green, blue, yellow; a meterdaemon on
+// each; the standard filter files in place) is created at startup,
+// with example workloads installed as executables on every machine:
+//
+//	/bin/pinger /bin/ponger   stream client/server (args: machine [rounds])
+//	/bin/echoserver /bin/echoclient   datagram echo pair
+//	/bin/tspmaster /bin/tspworker     distributed traveling salesman
+//
+// Type "help" at the <Control> prompt for the command menu; Appendix B
+// of the paper is a worked session.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"dpm/internal/core"
+	"dpm/internal/workloads"
+)
+
+func main() {
+	script := flag.String("script", "", "run commands from this file instead of standard input")
+	flag.Parse()
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+	for _, reg := range []func(*core.System) error{
+		workloads.RegisterPingPong, workloads.RegisterEcho,
+		workloads.RegisterTSP, workloads.RegisterStorm,
+		workloads.RegisterForkFan, workloads.RegisterPipeline,
+	} {
+		if err := reg(sys); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctl, err := sys.NewController("yellow", os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var in io.Reader = os.Stdin
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in = strings.NewReader(string(data))
+	}
+	fmt.Println("dpm: distributed programs monitor for (simulated) Berkeley UNIX 4.2BSD")
+	fmt.Println("machines: red green blue yellow — controller on yellow; type help for commands")
+	ctl.Run(in)
+}

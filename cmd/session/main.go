@@ -1,0 +1,20 @@
+// session replays the programmer's session of the paper's Appendix B
+// on a fresh simulated cluster and prints the transcript followed by
+// the retrieved trace file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dpm/internal/workloads"
+)
+
+func main() {
+	traceData, err := workloads.RunAppendixBSession(os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nretrieved trace file:\n%s", traceData)
+}

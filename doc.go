@@ -1,0 +1,10 @@
+// Package dpm is a Go reproduction of "A Distributed Programs Monitor
+// for Berkeley UNIX" (Miller, Macrander, Sechrest; ICDCS 1985): a
+// transparent monitoring system for distributed programs, implemented
+// against a simulated 4.2BSD multi-machine substrate.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// package map); runnable examples are under examples/, command-line
+// tools under cmd/, and the benchmark harness reproducing the paper's
+// performance claims is bench_test.go in this directory.
+package dpm

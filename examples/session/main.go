@@ -1,0 +1,107 @@
+// Session: the programmer's session of the paper's Appendix B,
+// replayed command for command.
+//
+// The script creates a filter on blue, a job foo with process A on red
+// and process B on green, sets the metering flags, starts the job,
+// waits for the termination notices, removes the job, retrieves the
+// trace, and exits — producing a transcript in the shape of the
+// appendix.
+//
+// Run with: go run ./examples/session
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"dpm/internal/core"
+	"dpm/internal/fsys"
+	"dpm/internal/trace"
+	"dpm/internal/workloads"
+)
+
+// script is the Appendix B command sequence (rmjob is the appendix's
+// alias for removejob).
+var script = []string{
+	"filter f1 blue",
+	"newjob foo",
+	"addprocess foo red A green",
+	"addprocess foo green B",
+	"setflags foo send receive fork accept connect",
+	"startjob foo",
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		return err
+	}
+	defer sys.Shutdown()
+	// A is the client half and B the server half of the computation.
+	sys.Cluster.RegisterProgram("progA", workloads.PingerMain)
+	sys.Cluster.RegisterProgram("progB", workloads.PongerMain)
+	for _, mn := range []string{"red", "green"} {
+		m, err := sys.Machine(mn)
+		if err != nil {
+			return err
+		}
+		if err := m.FS().CreateExecutable("/bin/A", sys.UID, "progA"); err != nil {
+			return err
+		}
+		if err := m.FS().CreateExecutable("/bin/B", sys.UID, "progB"); err != nil {
+			return err
+		}
+	}
+
+	ctl, err := sys.NewController("yellow", os.Stdout)
+	if err != nil {
+		return err
+	}
+	for _, cmd := range script {
+		fmt.Printf("<Control> %s\n", cmd)
+		ctl.Exec(cmd)
+	}
+	if err := core.WaitJob(ctl, "foo", 30*time.Second); err != nil {
+		return err
+	}
+	// Give the filter a moment to log the flushed termination records.
+	if _, err := sys.WaitTrace("blue", "f1", 10*time.Second, func(evs []trace.Event) bool { return len(evs) >= 4 }); err != nil {
+		return err
+	}
+
+	for _, cmd := range []string{"rmjob foo", "getlog f1 trace"} {
+		fmt.Printf("<Control> %s\n", cmd)
+		ctl.Exec(cmd)
+	}
+	fmt.Printf("<Control> bye\n")
+	ctl.Exec("bye")
+
+	// Show the retrieved trace, as the paper's user would inspect it.
+	yellow, err := sys.Machine("yellow")
+	if err != nil {
+		return err
+	}
+	data, err := yellow.FS().Read("/usr/trace", fsys.Superuser)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	fmt.Printf("\nretrieved trace (%d records), first records:\n", len(lines))
+	for i, l := range lines {
+		if i == 8 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println("  " + l)
+	}
+	return nil
+}

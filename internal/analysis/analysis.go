@@ -1,0 +1,224 @@
+// Package analysis implements the third stage of the measurement
+// model: "the extraction of information from the collected data"
+// (section 2.1). The paper's section 3.3 names the analyses performed
+// with the tool — communications statistics, measurement of
+// parallelism, and structural studies — and section 4.1 describes two
+// more analysis tasks: recovering message recipients from the sockets
+// paired at connection establishment, and deducing the global ordering
+// of events from the constraint that a message must be sent before it
+// is received.
+package analysis
+
+import (
+	"fmt"
+
+	"dpm/internal/meter"
+	"dpm/internal/trace"
+)
+
+// ProcKey identifies a process cluster-wide: the machine id from the
+// meter header plus the process id.
+type ProcKey struct {
+	Machine int
+	PID     int
+}
+
+func (k ProcKey) String() string { return fmt.Sprintf("m%d/p%d", k.Machine, k.PID) }
+
+func keyOf(e *trace.Event) ProcKey { return ProcKey{Machine: e.Machine, PID: e.PID()} }
+
+// ProcComm is the communication profile of one process.
+type ProcComm struct {
+	Sends      int
+	Recvs      int
+	RecvCalls  int
+	BytesSent  int64
+	BytesRecvd int64
+	Sockets    int // sockets created
+	Forks      int
+}
+
+// CommStats summarizes the communication activity in a trace.
+type CommStats struct {
+	Events     int
+	Sends      int
+	Recvs      int
+	BytesSent  int64
+	BytesRecvd int64
+	PerProcess map[ProcKey]*ProcComm
+	// SizeHist buckets message sizes by power of two: bucket k counts
+	// messages with 2^(k-1) < size <= 2^k (bucket 0 counts empty
+	// messages).
+	SizeHist map[int]int
+}
+
+// sizeBucket returns the power-of-two histogram bucket for a size.
+func sizeBucket(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}
+
+// Comm computes communication statistics over a trace.
+func Comm(events []trace.Event) *CommStats {
+	st := &CommStats{
+		PerProcess: make(map[ProcKey]*ProcComm),
+		SizeHist:   make(map[int]int),
+	}
+	proc := func(e *trace.Event) *ProcComm {
+		k := keyOf(e)
+		pc := st.PerProcess[k]
+		if pc == nil {
+			pc = &ProcComm{}
+			st.PerProcess[k] = pc
+		}
+		return pc
+	}
+	for i := range events {
+		e := &events[i]
+		st.Events++
+		switch e.Type {
+		case meter.EvSend:
+			st.Sends++
+			st.BytesSent += int64(e.MsgLength())
+			st.SizeHist[sizeBucket(e.MsgLength())]++
+			p := proc(e)
+			p.Sends++
+			p.BytesSent += int64(e.MsgLength())
+		case meter.EvRecv:
+			st.Recvs++
+			st.BytesRecvd += int64(e.MsgLength())
+			p := proc(e)
+			p.Recvs++
+			p.BytesRecvd += int64(e.MsgLength())
+		case meter.EvRecvCall:
+			proc(e).RecvCalls++
+		case meter.EvSocket:
+			proc(e).Sockets++
+		case meter.EvFork:
+			proc(e).Forks++
+		}
+	}
+	return st
+}
+
+// Connection is a reconstructed stream connection: the pairing of the
+// socket that initiated it with the connection socket the accept
+// created (section 3.1).
+type Connection struct {
+	Client     ProcKey
+	ClientSock uint32
+	Server     ProcKey
+	ServerSock uint32 // the new connection socket from the accept event
+	ListenSock uint32
+	ServerName meter.Name // name bound to the accepting socket
+	ClientName meter.Name // name bound to the connecting socket (may be zero)
+	ConnectSeq int
+	AcceptSeq  int
+}
+
+// Connections reconstructs connections by matching connect events to
+// accept events: an accept's sockName is the listener's bound name, so
+// it pairs with connects whose peerName equals it; the accept's
+// peerName (the connector's name) disambiguates among clients when
+// present, with FIFO order as the tiebreak.
+// Because meter messages are buffered in the kernel, the connect and
+// accept records of one connection can arrive at the filter in either
+// order; matching therefore collects all of both first.
+func Connections(events []trace.Event) []Connection {
+	var connects, accepts []int
+	for i := range events {
+		switch events[i].Type {
+		case meter.EvConnect:
+			connects = append(connects, i)
+		case meter.EvAccept:
+			accepts = append(accepts, i)
+		}
+	}
+	used := make(map[int]bool)
+	var conns []Connection
+	for _, ai := range accepts {
+		e := &events[ai]
+		listenerName := e.Name("sockName")
+		acceptPeer := e.Name("peerName")
+		best := -1
+		for _, ci := range connects {
+			if used[ci] {
+				continue
+			}
+			c := &events[ci]
+			if c.Name("peerName") != listenerName {
+				continue
+			}
+			// Prefer an exact client-name match.
+			if !acceptPeer.IsZero() && c.Name("sockName") == acceptPeer {
+				best = ci
+				break
+			}
+			if best == -1 {
+				best = ci
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		used[best] = true
+		c := &events[best]
+		conns = append(conns, Connection{
+			Client:     keyOf(c),
+			ClientSock: c.Sock(),
+			Server:     keyOf(e),
+			ServerSock: uint32(e.Fields["newSock"]),
+			ListenSock: e.Sock(),
+			ServerName: listenerName,
+			ClientName: c.Name("sockName"),
+			ConnectSeq: c.Seq,
+			AcceptSeq:  e.Seq,
+		})
+	}
+	return conns
+}
+
+// endpoint identifies one socket of one process.
+type endpoint struct {
+	proc ProcKey
+	sock uint32
+}
+
+// RecoverRecipients maps send and receive events whose name field is
+// empty — writes and reads across connections — to the process at the
+// other end of the connection. "By examining the sockets that were
+// paired when the connection was created, the recipient information
+// can be recovered. This is one of the tasks of the analysis
+// programs" (section 4.1). The result maps event Seq to the peer
+// process.
+func RecoverRecipients(events []trace.Event) map[int]ProcKey {
+	conns := Connections(events)
+	peerOf := make(map[endpoint]ProcKey)
+	for _, c := range conns {
+		peerOf[endpoint{c.Client, c.ClientSock}] = c.Server
+		peerOf[endpoint{c.Server, c.ServerSock}] = c.Client
+	}
+	out := make(map[int]ProcKey)
+	for i := range events {
+		e := &events[i]
+		var nameField string
+		switch e.Type {
+		case meter.EvSend:
+			nameField = "destName"
+		case meter.EvRecv:
+			nameField = "sourceName"
+		default:
+			continue
+		}
+		if !e.Name(nameField).IsZero() {
+			continue
+		}
+		if peer, ok := peerOf[endpoint{keyOf(e), e.Sock()}]; ok {
+			out[e.Seq] = peer
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"sort"
+
+	"dpm/internal/trace"
+)
+
+// Every meter message body carries "the address of the instruction
+// that called the system routine" (section 4.1) — the pc field. It
+// exists so analyses can attribute communication to program locations:
+// which call sites send the traffic, which block.
+
+// CallSite aggregates the events generated from one program location
+// of one process.
+type CallSite struct {
+	Proc   ProcKey
+	PC     uint64
+	Events int
+	// ByType counts events per event name at this site.
+	ByType map[string]int
+	// Bytes sums message lengths of send/receive events at this site.
+	Bytes int64
+}
+
+// CallSites groups a trace's events by (process, pc) and returns the
+// sites sorted by event count, busiest first.
+func CallSites(events []trace.Event) []CallSite {
+	type key struct {
+		proc ProcKey
+		pc   uint64
+	}
+	sites := make(map[key]*CallSite)
+	for i := range events {
+		e := &events[i]
+		pc, ok := e.Fields["pc"]
+		if !ok {
+			continue
+		}
+		k := key{keyOf(e), pc}
+		s := sites[k]
+		if s == nil {
+			s = &CallSite{Proc: k.proc, PC: pc, ByType: make(map[string]int)}
+			sites[k] = s
+		}
+		s.Events++
+		s.ByType[e.Event]++
+		s.Bytes += int64(e.MsgLength())
+	}
+	out := make([]CallSite, 0, len(sites))
+	for _, s := range sites {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Events != out[j].Events {
+			return out[i].Events > out[j].Events
+		}
+		if out[i].Proc != out[j].Proc {
+			return less(out[i].Proc, out[j].Proc)
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"testing"
+
+	"dpm/internal/meter"
+	"dpm/internal/trace"
+)
+
+func pcEvent(machine, pid int, pc uint64, typ meter.Type, length int) trace.Event {
+	return trace.Event{
+		Type: typ, Event: typ.String(), Machine: machine,
+		Fields: map[string]uint64{"pid": uint64(pid), "pc": pc, "msgLength": uint64(length)},
+		Names:  map[string]meter.Name{},
+	}
+}
+
+func TestCallSitesGrouping(t *testing.T) {
+	events := []trace.Event{
+		pcEvent(1, 10, 0x100, meter.EvSend, 64),
+		pcEvent(1, 10, 0x100, meter.EvSend, 64),
+		pcEvent(1, 10, 0x100, meter.EvSend, 64),
+		pcEvent(1, 10, 0x200, meter.EvRecv, 32),
+		pcEvent(2, 20, 0x100, meter.EvSend, 8), // same pc, other process
+	}
+	sites := CallSites(events)
+	if len(sites) != 3 {
+		t.Fatalf("sites = %+v", sites)
+	}
+	// Busiest first.
+	top := sites[0]
+	if top.Proc != (ProcKey{1, 10}) || top.PC != 0x100 || top.Events != 3 || top.Bytes != 192 {
+		t.Fatalf("top site = %+v", top)
+	}
+	if top.ByType["SEND"] != 3 {
+		t.Fatalf("ByType = %v", top.ByType)
+	}
+}
+
+func TestCallSitesSkipsEventsWithoutPC(t *testing.T) {
+	e := pcEvent(1, 10, 0x100, meter.EvSend, 1)
+	delete(e.Fields, "pc")
+	if sites := CallSites([]trace.Event{e}); len(sites) != 0 {
+		t.Fatalf("sites = %+v", sites)
+	}
+}
+
+func TestCallSitesDeterministicOrder(t *testing.T) {
+	events := []trace.Event{
+		pcEvent(2, 20, 0x300, meter.EvSend, 1),
+		pcEvent(1, 10, 0x100, meter.EvSend, 1),
+		pcEvent(1, 10, 0x200, meter.EvSend, 1),
+	}
+	a := CallSites(events)
+	b := CallSites(events)
+	for i := range a {
+		if a[i].Proc != b[i].Proc || a[i].PC != b[i].PC {
+			t.Fatal("nondeterministic order")
+		}
+	}
+	// Equal counts: ordered by process then pc.
+	if a[0].Proc != (ProcKey{1, 10}) || a[0].PC != 0x100 {
+		t.Fatalf("order = %+v", a)
+	}
+}

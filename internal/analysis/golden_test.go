@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+// TestGoldenSessionTrace anchors the whole analysis stack against a
+// checked-in trace produced by the Appendix B session: any behavioral
+// drift in parsing, matching, recovery, or ordering shows up here.
+func TestGoldenSessionTrace(t *testing.T) {
+	data, err := os.ReadFile("testdata/session.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ParseLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("events = %d", len(events))
+	}
+
+	conns := Connections(events)
+	if len(conns) != 1 {
+		t.Fatalf("connections = %+v", conns)
+	}
+	c := conns[0]
+	if c.Client != (ProcKey{1, 2}) || c.Server != (ProcKey{2, 2}) || c.ServerSock != 9 {
+		t.Fatalf("connection = %+v", c)
+	}
+
+	matches := MatchMessages(events, nil)
+	if len(matches) != 2 {
+		t.Fatalf("matches = %+v", matches)
+	}
+
+	rec := RecoverRecipients(events)
+	if len(rec) != 4 {
+		t.Fatalf("recovered = %v", rec)
+	}
+
+	order, err := HappenedBefore(events, matches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := order.OrderedFraction(); got < 0.93 || got > 0.94 {
+		t.Fatalf("ordered fraction = %v, want ~0.933", got)
+	}
+
+	report, err := Report(events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"trace: 6 event records",
+		"m1/p2 (client)",
+		"m2/p2 (server)",
+		"matched messages:      2",
+		"recovered recipients:  4",
+		"ordered event pairs:   93.3%",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report lacks %q:\n%s", want, report)
+		}
+	}
+
+	if diags := Validate(events, nil); countSeverity(diags, Error) != 0 {
+		t.Fatalf("golden trace has errors: %v", diags)
+	}
+}
+
+// TestGoldenTSPTrace anchors the analyses against a frozen trace of a
+// real distributed TSP run (master on red, workers on green and blue,
+// all events flagged): invariants that must hold for any valid run of
+// that workload.
+func TestGoldenTSPTrace(t *testing.T) {
+	data, err := os.ReadFile("testdata/tsp.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ParseLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three processes: the master accepts two worker connections.
+	conns := Connections(events)
+	if len(conns) != 2 {
+		t.Fatalf("connections = %d", len(conns))
+	}
+	for _, c := range conns {
+		if c.Server.Machine != 1 {
+			t.Fatalf("master not on machine 1: %+v", c)
+		}
+	}
+
+	g := Structure(events, nil)
+	if len(g.Procs) != 3 {
+		t.Fatalf("procs = %v", g.Procs)
+	}
+	masters, clients := 0, 0
+	for _, r := range g.Roles {
+		switch r {
+		case RoleServer:
+			masters++
+		case RoleClient:
+			clients++
+		}
+	}
+	if masters != 1 || clients != 2 {
+		t.Fatalf("roles = %v", g.Roles)
+	}
+
+	// Stream conservation and consistency hold.
+	if diags := Validate(events, nil); countSeverity(diags, Error) != 0 {
+		t.Fatalf("trace has errors: %v", diags)
+	}
+	matches := MatchMessages(events, nil)
+	order, err := HappenedBefore(events, matches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := order.OrderedFraction(); frac < 0.6 {
+		t.Fatalf("ordered fraction = %v", frac)
+	}
+	// Three terminations, all final per process.
+	term := 0
+	for _, e := range events {
+		if e.Event == "TERMPROC" {
+			term++
+		}
+	}
+	if term != 3 {
+		t.Fatalf("terminations = %d", term)
+	}
+	par := MeasureParallelism(events)
+	if par.Processes != 3 || par.TotalCPUMillis == 0 {
+		t.Fatalf("parallelism = %+v", par)
+	}
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"sort"
+
+	"dpm/internal/meter"
+	"dpm/internal/trace"
+)
+
+// Match pairs one receive event with the send event (or one of the
+// send events, for streams) that produced its data.
+type Match struct {
+	SendSeq int
+	RecvSeq int
+	Bytes   int
+}
+
+// MatchOptions configures message matching.
+type MatchOptions struct {
+	// HostToMachine maps network host addresses (as they appear in
+	// socket names) to the machine ids of meter headers. When nil,
+	// the identity map is used, which is correct for single-network
+	// clusters whose machines were created in order.
+	HostToMachine map[uint32]int
+}
+
+func (o *MatchOptions) machineOf(host uint32) int {
+	if o == nil || o.HostToMachine == nil {
+		return int(host)
+	}
+	if m, ok := o.HostToMachine[host]; ok {
+		return m
+	}
+	return int(host)
+}
+
+// MatchMessages pairs sends with receives. Stream traffic is matched
+// through reconstructed connections by byte position — exact, because
+// streams are reliable and ordered. Datagram traffic is matched by
+// the names carried in the events (the send's destination name and the
+// receive's source name) in FIFO order per socket pair; loss and
+// reordering make this a best effort, as it was for the paper's
+// analyses.
+func MatchMessages(events []trace.Event, opts *MatchOptions) []Match {
+	matches := matchStreams(events)
+	matches = append(matches, matchDatagrams(events, opts)...)
+	sort.Slice(matches, func(i, j int) bool { return matches[i].RecvSeq < matches[j].RecvSeq })
+	return matches
+}
+
+// matchStreams matches sends to receives along each direction of each
+// connection by cumulative byte offset.
+func matchStreams(events []trace.Event) []Match {
+	conns := Connections(events)
+	// Map each connection endpoint to a direction id; collect sends
+	// and recvs per direction.
+	type dir struct {
+		sends []int // event indexes
+		recvs []int
+	}
+	dirOf := make(map[endpoint]*[2]dir) // two directions per connection
+	sideOf := make(map[endpoint]int)
+	for i := range conns {
+		c := &conns[i]
+		d := &[2]dir{}
+		dirOf[endpoint{c.Client, c.ClientSock}] = d
+		dirOf[endpoint{c.Server, c.ServerSock}] = d
+		sideOf[endpoint{c.Client, c.ClientSock}] = 0
+		sideOf[endpoint{c.Server, c.ServerSock}] = 1
+	}
+	for i := range events {
+		e := &events[i]
+		ep := endpoint{keyOf(e), e.Sock()}
+		d, ok := dirOf[ep]
+		if !ok {
+			continue
+		}
+		side := sideOf[ep]
+		switch e.Type {
+		case meter.EvSend:
+			if e.Name("destName").IsZero() {
+				d[side].sends = append(d[side].sends, i)
+			}
+		case meter.EvRecv:
+			if e.Name("sourceName").IsZero() {
+				d[1-side].recvs = append(d[1-side].recvs, i)
+			}
+		}
+	}
+	var out []Match
+	seen := make(map[*[2]dir]bool)
+	for _, d := range dirOf {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		for side := 0; side < 2; side++ {
+			out = append(out, matchByteSpans(events, d[side].sends, d[side].recvs)...)
+		}
+	}
+	return out
+}
+
+// matchByteSpans pairs sends and recvs sharing one byte stream: the
+// k-th byte sent is the k-th byte received, so a receive matches every
+// send whose span overlaps its own.
+func matchByteSpans(events []trace.Event, sends, recvs []int) []Match {
+	type span struct {
+		idx      int
+		from, to int64 // [from, to)
+	}
+	var sendSpans []span
+	var off int64
+	for _, i := range sends {
+		n := int64(events[i].MsgLength())
+		sendSpans = append(sendSpans, span{i, off, off + n})
+		off += n
+	}
+	var out []Match
+	var roff int64
+	si := 0
+	for _, ri := range recvs {
+		n := int64(events[ri].MsgLength())
+		rfrom, rto := roff, roff+n
+		roff = rto
+		for si < len(sendSpans) && sendSpans[si].to <= rfrom {
+			si++
+		}
+		for j := si; j < len(sendSpans) && sendSpans[j].from < rto; j++ {
+			overlap := minI64(rto, sendSpans[j].to) - maxI64(rfrom, sendSpans[j].from)
+			if overlap > 0 {
+				out = append(out, Match{SendSeq: events[sendSpans[j].idx].Seq, RecvSeq: events[ri].Seq, Bytes: int(overlap)})
+			}
+		}
+	}
+	return out
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// matchDatagrams pairs datagram sends and receives. A receive's
+// sourceName names the sending socket; a send's destName names the
+// receiving socket. Each (sender socket, destName) group is one flow;
+// it is joined to the (receiver socket, sourceName) group whose
+// machines correspond, FIFO within the flow.
+func matchDatagrams(events []trace.Event, opts *MatchOptions) []Match {
+	type sendKey struct {
+		proc ProcKey
+		sock uint32
+		dest meter.Name
+	}
+	type recvKey struct {
+		proc ProcKey
+		sock uint32
+		src  meter.Name
+	}
+	sendGroups := make(map[sendKey][]int)
+	var sendOrder []sendKey
+	recvGroups := make(map[recvKey][]int)
+	var recvOrder []recvKey
+	for i := range events {
+		e := &events[i]
+		switch e.Type {
+		case meter.EvSend:
+			d := e.Name("destName")
+			if d.IsZero() {
+				continue
+			}
+			k := sendKey{keyOf(e), e.Sock(), d}
+			if _, ok := sendGroups[k]; !ok {
+				sendOrder = append(sendOrder, k)
+			}
+			sendGroups[k] = append(sendGroups[k], i)
+		case meter.EvRecv:
+			s := e.Name("sourceName")
+			if s.IsZero() {
+				continue
+			}
+			k := recvKey{keyOf(e), e.Sock(), s}
+			if _, ok := recvGroups[k]; !ok {
+				recvOrder = append(recvOrder, k)
+			}
+			recvGroups[k] = append(recvGroups[k], i)
+		}
+	}
+	var out []Match
+	usedSend := make(map[sendKey]bool)
+	for _, rk := range recvOrder {
+		// The source name's host identifies the sender's machine; find
+		// the unused send flow from that machine whose destination is
+		// on the receiver's machine and whose message lengths line up.
+		var srcMachine = -1
+		if rk.src.Family() == meter.AFInet {
+			h, _ := rk.src.Inet()
+			srcMachine = opts.machineOf(h)
+		}
+		var best sendKey
+		found := false
+		for _, sk := range sendOrder {
+			if usedSend[sk] {
+				continue
+			}
+			if srcMachine >= 0 && sk.proc.Machine != srcMachine {
+				continue
+			}
+			if sk.dest.Family() == meter.AFInet {
+				h, _ := sk.dest.Inet()
+				if opts.machineOf(h) != rk.proc.Machine {
+					continue
+				}
+			}
+			if !lengthsCompatible(events, sendGroups[sk], recvGroups[rk]) {
+				continue
+			}
+			best = sk
+			found = true
+			break
+		}
+		if !found {
+			continue
+		}
+		usedSend[best] = true
+		sends, recvs := sendGroups[best], recvGroups[rk]
+		for i := 0; i < len(recvs) && i < len(sends); i++ {
+			out = append(out, Match{
+				SendSeq: events[sends[i]].Seq,
+				RecvSeq: events[recvs[i]].Seq,
+				Bytes:   events[recvs[i]].MsgLength(),
+			})
+		}
+	}
+	return out
+}
+
+// lengthsCompatible reports whether the k-th received length never
+// exceeds the k-th sent length (receives may truncate, and trailing
+// sends may have been lost, but a receive cannot grow a datagram).
+func lengthsCompatible(events []trace.Event, sends, recvs []int) bool {
+	if len(recvs) > len(sends) {
+		return false
+	}
+	for i, ri := range recvs {
+		if events[ri].MsgLength() > events[sends[i]].MsgLength() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"errors"
+	"math/bits"
+
+	"dpm/internal/meter"
+	"dpm/internal/trace"
+)
+
+// Order is the happened-before partial order deduced from a trace.
+// Section 4.1: "Statements regarding the global ordering of events can
+// only be made on the basis of evidence within the trace. For
+// example, since a message must be sent before it may be received, the
+// times of sending and receiving a message can always be ordered
+// relative to one another. Given these constraints, much of the
+// global ordering can be deduced."
+type Order struct {
+	n    int
+	succ [][]int
+	// Lamport[i] is a logical timestamp consistent with the partial
+	// order (Lamport 78).
+	Lamport []int
+	// reach[i] is the bitset of events reachable from i.
+	reach [][]uint64
+}
+
+// ErrCycle reports an inconsistent trace whose deduced order is
+// cyclic.
+var ErrCycle = errors.New("analysis: trace implies a cyclic event order")
+
+// HappenedBefore builds the partial order from three kinds of
+// evidence: program order within each process, send-before-receive
+// edges from matched messages, and the synchronization edges of
+// connection establishment (connect before accept returns) and fork
+// (the fork event precedes every event of the child).
+func HappenedBefore(events []trace.Event, matches []Match) (*Order, error) {
+	n := len(events)
+	o := &Order{n: n, succ: make([][]int, n)}
+	addEdge := func(from, to int) {
+		if from >= 0 && to >= 0 && from < n && to < n && from != to {
+			o.succ[from] = append(o.succ[from], to)
+		}
+	}
+
+	// Program order per process.
+	last := make(map[ProcKey]int)
+	firstOf := make(map[ProcKey]int)
+	for i := range events {
+		k := keyOf(&events[i])
+		if prev, ok := last[k]; ok {
+			addEdge(prev, i)
+		} else {
+			firstOf[k] = i
+		}
+		last[k] = i
+	}
+
+	// Message edges.
+	for _, m := range matches {
+		addEdge(m.SendSeq, m.RecvSeq)
+	}
+
+	// Connection establishment synchronizes the two processes.
+	for _, c := range Connections(events) {
+		addEdge(c.ConnectSeq, c.AcceptSeq)
+	}
+
+	// A fork precedes everything its child does.
+	for i := range events {
+		e := &events[i]
+		if e.Type != meter.EvFork {
+			continue
+		}
+		child := ProcKey{Machine: e.Machine, PID: int(e.Fields["newPid"])}
+		if f, ok := firstOf[child]; ok {
+			addEdge(i, f)
+		}
+	}
+
+	if err := o.computeLamport(); err != nil {
+		return nil, err
+	}
+	o.computeReach()
+	return o, nil
+}
+
+// computeLamport assigns logical clocks via a Kahn topological sweep;
+// it also detects cycles.
+func (o *Order) computeLamport() error {
+	indeg := make([]int, o.n)
+	for _, succs := range o.succ {
+		for _, t := range succs {
+			indeg[t]++
+		}
+	}
+	o.Lamport = make([]int, o.n)
+	var queue []int
+	for i := 0; i < o.n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+			o.Lamport[i] = 1
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, t := range o.succ[v] {
+			if o.Lamport[v]+1 > o.Lamport[t] {
+				o.Lamport[t] = o.Lamport[v] + 1
+			}
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if seen != o.n {
+		return ErrCycle
+	}
+	return nil
+}
+
+// computeReach builds per-event reachability bitsets in reverse
+// topological order (events are processed by decreasing Lamport time).
+func (o *Order) computeReach() {
+	words := (o.n + 63) / 64
+	o.reach = make([][]uint64, o.n)
+	for i := range o.reach {
+		o.reach[i] = make([]uint64, words)
+	}
+	// Order events by decreasing Lamport timestamp so successors are
+	// complete before predecessors.
+	byLamport := make([]int, o.n)
+	for i := range byLamport {
+		byLamport[i] = i
+	}
+	// Counting sort on Lamport values.
+	maxL := 0
+	for _, l := range o.Lamport {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	buckets := make([][]int, maxL+1)
+	for i, l := range o.Lamport {
+		buckets[l] = append(buckets[l], i)
+	}
+	for l := maxL; l >= 1; l-- {
+		for _, v := range buckets[l] {
+			for _, t := range o.succ[v] {
+				o.reach[v][t/64] |= 1 << (t % 64)
+				for w := range o.reach[v] {
+					o.reach[v][w] |= o.reach[t][w]
+				}
+			}
+		}
+	}
+}
+
+// Ordered reports whether event a happened before event b (by Seq).
+func (o *Order) Ordered(a, b int) bool {
+	if a < 0 || b < 0 || a >= o.n || b >= o.n {
+		return false
+	}
+	return o.reach[a][b/64]&(1<<(b%64)) != 0
+}
+
+// Concurrent reports whether neither event precedes the other — the
+// pairs a distributed debugger must treat as racing.
+func (o *Order) Concurrent(a, b int) bool {
+	return a != b && !o.Ordered(a, b) && !o.Ordered(b, a)
+}
+
+// OrderedFraction returns the fraction of distinct event pairs that
+// the deduced partial order resolves — how much of the global ordering
+// "can be deduced" from the trace.
+func (o *Order) OrderedFraction() float64 {
+	if o.n < 2 {
+		return 1
+	}
+	var ordered int64
+	for i := 0; i < o.n; i++ {
+		for _, w := range o.reach[i] {
+			ordered += int64(bits.OnesCount64(w))
+		}
+	}
+	total := int64(o.n) * int64(o.n-1) / 2
+	return float64(ordered) / float64(total)
+}
+
+// N returns the number of events in the order.
+func (o *Order) N() int { return o.n }

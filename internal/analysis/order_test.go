@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+func mustOrder(t *testing.T, b *tb) *Order {
+	t.Helper()
+	o, err := HappenedBefore(b.events, MatchMessages(b.events, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestHappenedBeforeOrdersConnScenario(t *testing.T) {
+	b := connScenario()
+	o := mustOrder(t, b)
+	// connect(0)→accept(1), send(2)→recv(3), and program order chain
+	// everything except the two termination events (4 and 5), which
+	// are genuinely concurrent: 11 of the 15 pairs are ordered.
+	if got, want := o.OrderedFraction(), 11.0/15.0; got != want {
+		t.Fatalf("OrderedFraction = %v, want %v", got, want)
+	}
+	if !o.Ordered(0, 5) || !o.Ordered(2, 3) || !o.Ordered(0, 1) {
+		t.Fatal("expected orderings missing")
+	}
+	if o.Ordered(3, 2) {
+		t.Fatal("receive ordered before its send")
+	}
+	if !o.Concurrent(4, 5) {
+		t.Fatal("independent terminations not concurrent")
+	}
+}
+
+func TestSendBeforeReceiveDespiteLogOrder(t *testing.T) {
+	// The receive appears in the trace before the send (buffered meter
+	// messages arrive late); the deduced order must still place the
+	// send first.
+	b := &tb{}
+	recvName := meter.InetName(2, 5000)
+	sendName := meter.InetName(1, 1024)
+	r := b.recv(2, 20, 0, 9, 4, sendName)
+	s := b.send(1, 10, 1, 3, 4, recvName)
+	o := mustOrder(t, b)
+	if !o.Ordered(s, r) {
+		t.Fatal("send not ordered before receive")
+	}
+	if o.Ordered(r, s) {
+		t.Fatal("receive ordered before send")
+	}
+}
+
+func TestIndependentProcessesConcurrent(t *testing.T) {
+	b := &tb{}
+	a1 := b.send(1, 10, 0, 3, 4, meter.InetName(9, 1))
+	a2 := b.send(1, 10, 1, 3, 4, meter.InetName(9, 1))
+	c1 := b.send(2, 20, 0, 4, 4, meter.InetName(9, 2))
+	o := mustOrder(t, b)
+	if !o.Ordered(a1, a2) {
+		t.Fatal("program order missing")
+	}
+	if !o.Concurrent(a1, c1) || !o.Concurrent(a2, c1) {
+		t.Fatal("independent processes not concurrent")
+	}
+	frac := o.OrderedFraction()
+	if frac >= 1.0 || frac <= 0 {
+		t.Fatalf("OrderedFraction = %v, want partial", frac)
+	}
+}
+
+func TestForkEdge(t *testing.T) {
+	b := &tb{}
+	f := b.add(meter.EvFork, 1, 10, 0, map[string]uint64{"newPid": 11}, nil)
+	childEv := b.send(1, 11, 1, 3, 4, meter.InetName(9, 1))
+	o := mustOrder(t, b)
+	if !o.Ordered(f, childEv) {
+		t.Fatal("fork not ordered before child's first event")
+	}
+}
+
+func TestLamportRespectsOrder(t *testing.T) {
+	b := connScenario()
+	o := mustOrder(t, b)
+	for i := 0; i < o.N(); i++ {
+		for j := 0; j < o.N(); j++ {
+			if o.Ordered(i, j) && o.Lamport[i] >= o.Lamport[j] {
+				t.Fatalf("Lamport[%d]=%d not < Lamport[%d]=%d despite ordering",
+					i, o.Lamport[i], j, o.Lamport[j])
+			}
+		}
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	// An inconsistent trace: process 1's first event "receives" a
+	// message that its own later event sent.
+	b := &tb{}
+	recvName := meter.InetName(1, 5000)
+	sendName := meter.InetName(1, 1024)
+	b.recv(1, 10, 0, 9, 4, sendName)
+	b.send(1, 10, 1, 3, 4, recvName)
+	// Force the pathological match directly.
+	matches := []Match{{SendSeq: 1, RecvSeq: 0, Bytes: 4}}
+	if _, err := HappenedBefore(b.events, matches); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestOrderedFractionEmptyAndSingle(t *testing.T) {
+	o, err := HappenedBefore(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.OrderedFraction() != 1 {
+		t.Fatal("empty trace fraction != 1")
+	}
+	b := &tb{}
+	b.send(1, 1, 0, 1, 1, meter.InetName(2, 2))
+	o = mustOrder(t, b)
+	if o.OrderedFraction() != 1 {
+		t.Fatal("single event fraction != 1")
+	}
+}
+
+func TestOrderedOutOfRange(t *testing.T) {
+	b := connScenario()
+	o := mustOrder(t, b)
+	if o.Ordered(-1, 0) || o.Ordered(0, 99) {
+		t.Fatal("out-of-range Ordered returned true")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	// Three processes chained by messages: a→b→c implies a→c.
+	b := &tb{}
+	n2 := meter.InetName(2, 5000)
+	n3 := meter.InetName(3, 5000)
+	s1 := b.send(1, 10, 0, 3, 4, n2)
+	r1 := b.recv(2, 20, 1, 9, 4, meter.InetName(1, 1024))
+	s2 := b.send(2, 20, 2, 9, 4, n3)
+	r2 := b.recv(3, 30, 3, 5, 4, meter.InetName(2, 5000))
+	o := mustOrder(t, b)
+	_ = r1
+	_ = s2
+	if !o.Ordered(s1, r2) {
+		t.Fatal("transitive ordering s1→r2 missing")
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"sort"
+
+	"dpm/internal/trace"
+)
+
+// Parallelism is the measurement-of-parallelism analysis of section
+// 3.3: how much concurrent execution a computation achieved.
+//
+// Per-machine clocks only roughly correspond (section 4.1), so the
+// measure treats them as comparable — the same approximation the
+// paper's analyses accepted — and procTime carries the kernel's 10 ms
+// accounting granularity.
+type Parallelism struct {
+	// Processes is the number of distinct processes observed.
+	Processes int
+	// TotalCPUMillis is the summed CPU time charged to all processes
+	// (their final procTime readings).
+	TotalCPUMillis int64
+	// MakespanMillis spans the earliest and latest event timestamps.
+	MakespanMillis int64
+	// Speedup is TotalCPU/Makespan — the average parallelism, 1.0
+	// meaning fully serial execution.
+	Speedup float64
+	// Histogram[k] is how many milliseconds of the makespan had
+	// exactly k processes live (between their first and last events).
+	Histogram map[int]int64
+}
+
+// MeasureParallelism computes the parallelism profile of a trace.
+func MeasureParallelism(events []trace.Event) *Parallelism {
+	p := &Parallelism{Histogram: make(map[int]int64)}
+	if len(events) == 0 {
+		return p
+	}
+	type interval struct {
+		first, last int64
+		maxCPU      int64
+	}
+	procs := make(map[ProcKey]*interval)
+	minT, maxT := events[0].CPUTime, events[0].CPUTime
+	for i := range events {
+		e := &events[i]
+		k := keyOf(e)
+		iv := procs[k]
+		if iv == nil {
+			iv = &interval{first: e.CPUTime, last: e.CPUTime}
+			procs[k] = iv
+		}
+		if e.CPUTime < iv.first {
+			iv.first = e.CPUTime
+		}
+		if e.CPUTime > iv.last {
+			iv.last = e.CPUTime
+		}
+		if e.ProcTime > iv.maxCPU {
+			iv.maxCPU = e.ProcTime
+		}
+		if e.CPUTime < minT {
+			minT = e.CPUTime
+		}
+		if e.CPUTime > maxT {
+			maxT = e.CPUTime
+		}
+	}
+	p.Processes = len(procs)
+	for _, iv := range procs {
+		p.TotalCPUMillis += iv.maxCPU
+	}
+	p.MakespanMillis = maxT - minT
+	if p.MakespanMillis > 0 {
+		p.Speedup = float64(p.TotalCPUMillis) / float64(p.MakespanMillis)
+	}
+
+	// Sweep line over process lifetimes for the concurrency histogram.
+	type edge struct {
+		t     int64
+		delta int
+	}
+	var edges []edge
+	for _, iv := range procs {
+		edges = append(edges, edge{iv.first, +1}, edge{iv.last, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].delta > edges[j].delta // starts before ends at the same instant
+	})
+	level := 0
+	prev := int64(-1)
+	for _, e := range edges {
+		if prev >= 0 && e.t > prev && level > 0 {
+			p.Histogram[level] += e.t - prev
+		}
+		level += e.delta
+		prev = e.t
+	}
+	return p
+}

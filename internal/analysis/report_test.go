@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+func TestReportSections(t *testing.T) {
+	b := connScenario()
+	report, err := Report(b.events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"trace: 6 event records",
+		"communication statistics",
+		"sends:",
+		"m1/p10:",
+		"structure",
+		"m1/p10 (client)",
+		"parallelism",
+		"event ordering",
+		"matched messages:      1",
+		"recovered recipients:  2",
+		"ordered event pairs:   73.3%",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report lacks %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestReportIncludesWaitingWhenPresent(t *testing.T) {
+	b := &tb{}
+	b.recvCall(1, 10, 100, 5)
+	b.recv(1, 10, 130, 5, 8, meter.Name{})
+	report, err := Report(b.events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "blocked time") || !strings.Contains(report, "30 ms blocked") {
+		t.Fatalf("report:\n%s", report)
+	}
+}
+
+func TestReportEmptyTrace(t *testing.T) {
+	report, err := Report(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "trace: 0 event records") {
+		t.Fatalf("report:\n%s", report)
+	}
+	if strings.Contains(report, "blocked time") {
+		t.Fatal("empty trace has a waiting section")
+	}
+}
+
+func TestReportInconsistentTrace(t *testing.T) {
+	// A cyclic order is reported as an error, not a bogus report: one
+	// process connected to itself receives, in program order, the
+	// bytes of its own *later* send — program order says recv before
+	// send, the stream match says send before recv.
+	srv := meter.InetName(2, 6000)
+	b := &tb{}
+	b.connect(1, 10, 0, 5, meter.InetName(1, 1), srv)
+	b.accept(1, 10, 1, 7, 8, srv, meter.InetName(1, 1))
+	b.recv(1, 10, 2, 8, 4, meter.Name{})
+	b.send(1, 10, 3, 5, 4, meter.Name{})
+	if _, err := Report(b.events, nil); err == nil {
+		t.Fatal("cyclic trace produced a report")
+	}
+}

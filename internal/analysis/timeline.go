@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"dpm/internal/meter"
+	"dpm/internal/trace"
+)
+
+// Timeline renders per-process event lanes over (virtual) time — a
+// text form of the time-line displays distributed-program monitors
+// grew into. Each lane is one process; columns are equal slices of
+// the trace's time span on the machines' clocks (which the paper
+// reminds us only roughly correspond across machines, section 4.1).
+//
+// Lane characters: c connect, a accept, S send, r receive call,
+// R receive, s socket, d dup, x close, F fork, T termination,
+// * several events in one column, . no event.
+func Timeline(events []trace.Event, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	if len(events) == 0 {
+		return "(empty trace)\n"
+	}
+	minT, maxT := events[0].CPUTime, events[0].CPUTime
+	lanes := make(map[ProcKey][]byte)
+	for i := range events {
+		if events[i].CPUTime < minT {
+			minT = events[i].CPUTime
+		}
+		if events[i].CPUTime > maxT {
+			maxT = events[i].CPUTime
+		}
+	}
+	span := maxT - minT
+	col := func(t int64) int {
+		if span == 0 {
+			return 0
+		}
+		c := int((t - minT) * int64(width) / (span + 1))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	glyphs := map[meter.Type]byte{
+		meter.EvConnect:    'c',
+		meter.EvAccept:     'a',
+		meter.EvSend:       'S',
+		meter.EvRecvCall:   'r',
+		meter.EvRecv:       'R',
+		meter.EvSocket:     's',
+		meter.EvDup:        'd',
+		meter.EvDestSocket: 'x',
+		meter.EvFork:       'F',
+		meter.EvTermProc:   'T',
+	}
+	for i := range events {
+		e := &events[i]
+		k := keyOf(e)
+		lane := lanes[k]
+		if lane == nil {
+			lane = []byte(strings.Repeat(".", width))
+			lanes[k] = lane
+		}
+		c := col(e.CPUTime)
+		g := glyphs[e.Type]
+		if g == 0 {
+			g = '?'
+		}
+		if lane[c] == '.' {
+			lane[c] = g
+		} else if lane[c] != g {
+			lane[c] = '*'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d ms .. %d ms (machine clocks), %d columns\n", minT, maxT, width)
+	for _, k := range sortedProcKeys(lanes) {
+		fmt.Fprintf(&b, "  %-10s |%s|\n", k, lanes[k])
+	}
+	b.WriteString("  legend: c connect, a accept, S send, r recv-call, R recv, s socket, d dup, x close, F fork, T term, * several\n")
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+func TestTimelineLanes(t *testing.T) {
+	b := connScenario()
+	out := Timeline(b.events, 40)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header, two lanes, legend.
+	if len(lines) != 4 {
+		t.Fatalf("timeline:\n%s", out)
+	}
+	var lane1, lane2 string
+	for _, l := range lines {
+		if strings.Contains(l, "m1/p10") {
+			lane1 = l
+		}
+		if strings.Contains(l, "m2/p20") {
+			lane2 = l
+		}
+	}
+	if lane1 == "" || lane2 == "" {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	// The client's lane shows connect, send, termination; the
+	// server's accept, receive, termination.
+	for _, g := range []string{"c", "S", "T"} {
+		if !strings.Contains(lane1, g) {
+			t.Errorf("client lane lacks %q: %s", g, lane1)
+		}
+	}
+	for _, g := range []string{"a", "R", "T"} {
+		if !strings.Contains(lane2, g) {
+			t.Errorf("server lane lacks %q: %s", g, lane2)
+		}
+	}
+}
+
+func TestTimelineOrderWithinLane(t *testing.T) {
+	b := connScenario()
+	out := Timeline(b.events, 60)
+	for _, l := range strings.Split(out, "\n") {
+		if !strings.Contains(l, "m1/p10") {
+			continue
+		}
+		// connect (cpu 5) precedes send (cpu 7) precedes term (cpu 9).
+		c := strings.IndexByte(l, 'c')
+		s := strings.IndexByte(l, 'S')
+		x := strings.IndexByte(l, 'T')
+		if !(c < s && s < x) {
+			t.Fatalf("lane order wrong: %q", l)
+		}
+	}
+}
+
+func TestTimelineCollision(t *testing.T) {
+	// Two different events in the same column render '*'.
+	b := &tb{}
+	b.send(1, 10, 100, 3, 4, meter.InetName(2, 1))
+	b.recv(1, 10, 100, 3, 4, meter.InetName(2, 1))
+	b.send(1, 10, 900, 3, 4, meter.InetName(2, 1)) // stretch the span
+	out := Timeline(b.events, 10)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no collision marker:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if out := Timeline(nil, 40); !strings.Contains(out, "empty trace") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTimelineZeroSpan(t *testing.T) {
+	b := &tb{}
+	b.send(1, 10, 50, 3, 4, meter.InetName(2, 1))
+	out := Timeline(b.events, 16)
+	if !strings.Contains(out, "S") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTimelineMinWidth(t *testing.T) {
+	b := connScenario()
+	out := Timeline(b.events, 1) // clamped to 8
+	if !strings.Contains(out, "8 columns") {
+		t.Fatalf("out = %q", out)
+	}
+}

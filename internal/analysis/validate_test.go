@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+func countSeverity(diags []Diagnostic, s Severity) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+func TestValidateCleanTrace(t *testing.T) {
+	b := connScenario()
+	diags := Validate(b.events, nil)
+	if countSeverity(diags, Error) != 0 || countSeverity(diags, Warning) != 0 {
+		t.Fatalf("clean trace produced findings: %v", diags)
+	}
+}
+
+func TestValidateEventAfterTermination(t *testing.T) {
+	b := connScenario()
+	// The client sends after its own termination record.
+	b.send(1, 10, 99, 5, 1, meter.Name{})
+	diags := Validate(b.events, nil)
+	found := false
+	for _, d := range diags {
+		if d.Severity == Error && strings.Contains(d.Message, "after its termination") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diags = %v", diags)
+	}
+}
+
+func TestValidateStreamConservation(t *testing.T) {
+	b := connScenario()
+	// The server receives 100 more bytes than were ever sent.
+	b.recv(2, 20, 8, 8, 100, meter.Name{})
+	diags := Validate(b.events, nil)
+	found := false
+	for _, d := range diags {
+		if d.Severity == Error && strings.Contains(d.Message, "received but only") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diags = %v", diags)
+	}
+}
+
+func TestValidateOrphanAccept(t *testing.T) {
+	b := &tb{}
+	b.accept(2, 20, 1, 7, 8, meter.InetName(2, 6000), meter.InetName(1, 1024))
+	diags := Validate(b.events, nil)
+	found := false
+	for _, d := range diags {
+		if d.Severity == Warning && strings.Contains(d.Message, "no matching connect") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diags = %v", diags)
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	// One process, connected to itself, whose recv precedes its send
+	// in program order while the stream match orders them oppositely.
+	srv := meter.InetName(2, 6000)
+	b := &tb{}
+	b.connect(1, 10, 0, 5, meter.InetName(1, 1), srv)
+	b.accept(1, 10, 1, 7, 8, srv, meter.InetName(1, 1))
+	b.recv(1, 10, 2, 8, 4, meter.Name{})
+	b.send(1, 10, 3, 5, 4, meter.Name{})
+	diags := Validate(b.events, nil)
+	found := false
+	for _, d := range diags {
+		if d.Severity == Error && strings.Contains(d.Message, "cyclic") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diags = %v", diags)
+	}
+}
+
+func TestValidateStillWaiting(t *testing.T) {
+	b := &tb{}
+	b.recvCall(1, 10, 100, 5)
+	diags := Validate(b.events, nil)
+	found := false
+	for _, d := range diags {
+		if d.Severity == Info && strings.Contains(d.Message, "still waiting") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diags = %v", diags)
+	}
+}
+
+func TestValidateMissingTermination(t *testing.T) {
+	b := connScenario() // both processes terminate
+	// A third process appears but never terminates.
+	b.send(3, 30, 5, 2, 1, meter.InetName(1, 1))
+	diags := Validate(b.events, nil)
+	found := false
+	for _, d := range diags {
+		if d.Severity == Info && strings.Contains(d.Message, "no termination record") {
+			if !strings.Contains(d.Message, "m3/p30") {
+				t.Fatalf("wrong process flagged: %v", d)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diags = %v", diags)
+	}
+}
+
+func TestValidateSortsMostSevereFirst(t *testing.T) {
+	b := connScenario()
+	b.recvCall(2, 20, 50, 99)             // info: still waiting
+	b.send(1, 10, 99, 5, 1, meter.Name{}) // error: after termination
+	diags := Validate(b.events, nil)
+	if len(diags) < 2 {
+		t.Fatalf("diags = %v", diags)
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Severity > diags[i-1].Severity {
+			t.Fatalf("not sorted by severity: %v", diags)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Severity: Error, Seq: 5, Message: "boom"}
+	if d.String() != "error at event 5: boom" {
+		t.Fatalf("String = %q", d.String())
+	}
+	d2 := Diagnostic{Severity: Info, Seq: -1, Message: "note"}
+	if d2.String() != "info: note" {
+		t.Fatalf("String = %q", d2.String())
+	}
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"dpm/internal/meter"
+	"dpm/internal/trace"
+)
+
+// The meter records a receive in two events: the receivecall when the
+// process asks for a message and the receive when one is delivered
+// (section 3.2's flag table lists them separately). The gap between
+// the two on the process's machine clock is the time the process spent
+// blocked waiting for communication — the quantity a performance study
+// of a distributed program most wants (a process that computes little
+// and waits long is starved; one that never waits is the bottleneck).
+
+// ProcWaiting is the blocked-time profile of one process.
+type ProcWaiting struct {
+	// Waits is the number of receivecall→receive pairs observed.
+	Waits int
+	// BlockedMillis is the summed machine-clock time between each
+	// receivecall and its receive.
+	BlockedMillis int64
+	// MaxBlockedMillis is the longest single wait.
+	MaxBlockedMillis int64
+	// Unmatched counts receivecalls with no following receive (the
+	// process was killed or the trace ends while it blocks).
+	Unmatched int
+}
+
+// Mean returns the mean blocked time per wait in milliseconds.
+func (w *ProcWaiting) Mean() float64 {
+	if w.Waits == 0 {
+		return 0
+	}
+	return float64(w.BlockedMillis) / float64(w.Waits)
+}
+
+// WaitingProfile computes per-process blocked time from
+// receivecall/receive pairs. Pairs are matched per (process, socket)
+// in program order; both timestamps come from the same machine's
+// clock, so skew between machines does not distort the measure.
+func WaitingProfile(events []trace.Event) map[ProcKey]*ProcWaiting {
+	out := make(map[ProcKey]*ProcWaiting)
+	type sockKey struct {
+		proc ProcKey
+		sock uint32
+	}
+	pendingCall := make(map[sockKey]int64) // machine-clock time of the open receivecall
+	openCalls := make(map[ProcKey]int)
+	get := func(k ProcKey) *ProcWaiting {
+		w := out[k]
+		if w == nil {
+			w = &ProcWaiting{}
+			out[k] = w
+		}
+		return w
+	}
+	for i := range events {
+		e := &events[i]
+		k := keyOf(e)
+		switch e.Type {
+		case meter.EvRecvCall:
+			sk := sockKey{k, e.Sock()}
+			if _, open := pendingCall[sk]; !open {
+				openCalls[k]++
+			}
+			pendingCall[sk] = e.CPUTime
+		case meter.EvRecv:
+			sk := sockKey{k, e.Sock()}
+			start, ok := pendingCall[sk]
+			if !ok {
+				continue // receive without a metered call (flag off)
+			}
+			delete(pendingCall, sk)
+			openCalls[k]--
+			w := get(k)
+			w.Waits++
+			blocked := e.CPUTime - start
+			if blocked < 0 {
+				blocked = 0
+			}
+			w.BlockedMillis += blocked
+			if blocked > w.MaxBlockedMillis {
+				w.MaxBlockedMillis = blocked
+			}
+		}
+	}
+	for k, n := range openCalls {
+		if n > 0 {
+			get(k).Unmatched += n
+		}
+	}
+	return out
+}

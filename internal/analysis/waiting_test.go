@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+func (b *tb) recvCall(machine, pid int, cpu int64, sock uint32) int {
+	return b.add(meter.EvRecvCall, machine, pid, cpu,
+		map[string]uint64{"sock": uint64(sock)}, nil)
+}
+
+func TestWaitingProfileBasic(t *testing.T) {
+	b := &tb{}
+	b.recvCall(1, 10, 100, 5)
+	b.recv(1, 10, 130, 5, 8, meter.Name{}) // 30ms blocked
+	b.recvCall(1, 10, 200, 5)
+	b.recv(1, 10, 210, 5, 8, meter.Name{}) // 10ms blocked
+	w := WaitingProfile(b.events)[ProcKey{1, 10}]
+	if w == nil {
+		t.Fatal("no profile")
+	}
+	if w.Waits != 2 || w.BlockedMillis != 40 || w.MaxBlockedMillis != 30 {
+		t.Fatalf("profile = %+v", w)
+	}
+	if w.Mean() != 20 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	if w.Unmatched != 0 {
+		t.Fatalf("unmatched = %d", w.Unmatched)
+	}
+}
+
+func TestWaitingProfilePerSocket(t *testing.T) {
+	// Calls on different sockets do not pair with each other's
+	// receives.
+	b := &tb{}
+	b.recvCall(1, 10, 100, 5)
+	b.recvCall(1, 10, 105, 6)
+	b.recv(1, 10, 120, 6, 1, meter.Name{}) // 15ms on sock 6
+	b.recv(1, 10, 150, 5, 1, meter.Name{}) // 50ms on sock 5
+	w := WaitingProfile(b.events)[ProcKey{1, 10}]
+	if w.Waits != 2 || w.BlockedMillis != 65 {
+		t.Fatalf("profile = %+v", w)
+	}
+}
+
+func TestWaitingProfileUnmatchedCall(t *testing.T) {
+	// A process killed while blocked leaves an open receivecall.
+	b := &tb{}
+	b.recvCall(1, 10, 100, 5)
+	w := WaitingProfile(b.events)[ProcKey{1, 10}]
+	if w == nil || w.Unmatched != 1 || w.Waits != 0 {
+		t.Fatalf("profile = %+v", w)
+	}
+}
+
+func TestWaitingProfileRecvWithoutCall(t *testing.T) {
+	// With the receivecall flag off, receives alone produce no waits.
+	b := &tb{}
+	b.recv(1, 10, 100, 5, 1, meter.Name{})
+	if w := WaitingProfile(b.events)[ProcKey{1, 10}]; w != nil {
+		t.Fatalf("profile = %+v", w)
+	}
+}
+
+func TestWaitingProfileSeparatesProcesses(t *testing.T) {
+	b := &tb{}
+	b.recvCall(1, 10, 100, 5)
+	b.recvCall(2, 20, 100, 5)
+	b.recv(1, 10, 110, 5, 1, meter.Name{})
+	b.recv(2, 20, 180, 5, 1, meter.Name{})
+	profiles := WaitingProfile(b.events)
+	if profiles[ProcKey{1, 10}].BlockedMillis != 10 {
+		t.Fatalf("p1 = %+v", profiles[ProcKey{1, 10}])
+	}
+	if profiles[ProcKey{2, 20}].BlockedMillis != 80 {
+		t.Fatalf("p2 = %+v", profiles[ProcKey{2, 20}])
+	}
+}
+
+func TestWaitingProfileNegativeClamped(t *testing.T) {
+	// Out-of-order timestamps (possible with discarded fields or
+	// hand-edited traces) never produce negative blocked time.
+	b := &tb{}
+	b.recvCall(1, 10, 500, 5)
+	b.recv(1, 10, 400, 5, 1, meter.Name{})
+	w := WaitingProfile(b.events)[ProcKey{1, 10}]
+	if w.BlockedMillis != 0 || w.Waits != 1 {
+		t.Fatalf("profile = %+v", w)
+	}
+}

@@ -1,0 +1,715 @@
+package controller
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dpm/internal/daemon"
+	"dpm/internal/filter"
+	"dpm/internal/fsys"
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+)
+
+// This file implements the control commands of the user's manual
+// (section 4.3), with the output shapes of the Appendix B transcript.
+
+func (c *Controller) cmdHelp() {
+	c.printf(`Commands:
+  help                                               this menu
+  filter [name [machine [filterfile [descr [tmpl]]]]] create a filter, or list filters
+  newjob name [filtername]                           create a job
+  addprocess name machine processfile [parms...]     add a process to a job
+  acquire name machine pid                           meter an existing process
+  setflags name flag1 [flag2...]                     set metering flags on a job
+  startjob name                                      start a job's processes
+  stopjob name                                       stop a job's processes
+  removejob name                                     remove a completed job
+  removeprocess name machine pid                     remove one process
+  jobs [name...]                                     show job status
+  ps machine                                         list a machine's processes
+  stdin jobname machine pid word...                  send input to a process
+  getlog filtername destfile                         retrieve a filter's trace log
+  source filename                                    run a command script
+  sink [filename]                                    redirect command output
+  die                                                exit the controller
+Meter flags:
+  %s
+`, strings.Join(meter.AllFlagNames(), " "))
+}
+
+// cmdFilter creates a filter process or, with no parameters, lists the
+// existing filters (section 4.3).
+func (c *Controller) cmdFilter(args []string) {
+	if len(args) == 0 {
+		c.mu.Lock()
+		for _, n := range c.filterOrder {
+			f := c.filters[n]
+			c.mu.Unlock()
+			c.printf("%d '%s' on %s\n", f.PID, f.Name, f.Machine)
+			c.mu.Lock()
+		}
+		c.mu.Unlock()
+		return
+	}
+	name := args[0]
+	machineName := c.machine.Name()
+	if len(args) > 1 {
+		machineName = args[1]
+	}
+	filterFile := defaultFilterFile
+	if len(args) > 2 {
+		filterFile = resolvePath(args[2])
+	}
+	descFile, tmplFile := "", ""
+	if len(args) > 3 {
+		descFile = resolvePath(args[3])
+	}
+	if len(args) > 4 {
+		tmplFile = resolvePath(args[4])
+	}
+
+	c.mu.Lock()
+	if _, dup := c.filters[name]; dup {
+		c.mu.Unlock()
+		c.printf("filter '%s' already exists\n", name)
+		return
+	}
+	c.nextPort++
+	port := c.nextPort
+	c.mu.Unlock()
+
+	if err := c.ensureFile(machineName, filterFile); err != nil {
+		c.printf("filter '%s' not created: %v\n", name, err)
+		return
+	}
+	req := &daemon.CreateReq{
+		Filename:    filterFile,
+		Params:      []string{name, strconv.Itoa(int(port)), descFile, tmplFile},
+		ControlPort: c.notifyPort,
+		ControlHost: c.machine.Name(),
+		UID:         c.uid,
+	}
+	rep, err := c.exchange(machineName, req.Wire())
+	if err != nil {
+		c.printf("filter '%s' not created: %v\n", name, err)
+		return
+	}
+	if !rep.OK() {
+		c.printf("filter '%s' not created: %s\n", name, rep.Status)
+		return
+	}
+	// Processes are created suspended; a filter should run at once.
+	start := &daemon.ProcReq{Type: daemon.TStartReq, PID: rep.PID, UID: c.uid}
+	if srep, err := c.exchange(machineName, start.Wire()); err != nil || !srep.OK() {
+		c.printf("filter '%s' not started\n", name)
+		return
+	}
+	info := &FilterInfo{Name: name, PID: rep.PID, Machine: machineName, Port: port}
+	c.mu.Lock()
+	c.filters[name] = info
+	c.filterOrder = append(c.filterOrder, name)
+	if c.defaultFilter == "" {
+		c.defaultFilter = name
+	}
+	c.mu.Unlock()
+	c.printf("filter '%s' ... created: identifier = %d\n", name, rep.PID)
+}
+
+// ensureFile copies a file to the target machine if it is present
+// locally but missing there — the rcp fallback of section 3.5.3.
+func (c *Controller) ensureFile(machineName, path string) error {
+	target, err := c.cluster.Machine(machineName)
+	if err != nil {
+		return err
+	}
+	if target.FS().Exists(path) {
+		return nil
+	}
+	if !c.machine.FS().Exists(path) {
+		return fmt.Errorf("%s not found on %s or locally", path, machineName)
+	}
+	return c.cluster.Rcp(c.machine.Name(), path, machineName, path, c.uid)
+}
+
+func (c *Controller) cmdNewJob(args []string) {
+	if len(args) < 1 || len(args) > 2 {
+		c.printf("usage: newjob jobname [filtername]\n")
+		return
+	}
+	name := args[0]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.jobs[name]; dup {
+		fmt.Fprintf(c.sink, "job '%s' already exists\n", name)
+		return
+	}
+	// "A job cannot be created if a filter has not been created."
+	fname := c.defaultFilter
+	if len(args) == 2 {
+		fname = args[1]
+	}
+	f, ok := c.filters[fname]
+	if !ok {
+		fmt.Fprintf(c.sink, "no filter; create a filter before newjob\n")
+		return
+	}
+	c.nextJobNo++
+	c.jobs[name] = &Job{Name: name, Filter: f}
+	c.jobOrder = append(c.jobOrder, name)
+}
+
+func (c *Controller) cmdAddProcess(args []string) {
+	if len(args) < 3 {
+		c.printf("usage: addprocess jobname machine processfile [parms...]\n")
+		return
+	}
+	jobName, machineName, procFile := args[0], args[1], resolvePath(args[2])
+	params := args[3:]
+	c.mu.Lock()
+	job, ok := c.jobs[jobName]
+	flags := uint32(0)
+	var fi *FilterInfo
+	if ok {
+		flags = uint32(job.Flags)
+		fi = job.Filter
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.printf("no job '%s'\n", jobName)
+		return
+	}
+	if err := c.ensureFile(machineName, procFile); err != nil {
+		c.printf("process '%s' not created: %v\n", args[2], err)
+		return
+	}
+	req := &daemon.CreateReq{
+		Filename:    procFile,
+		Params:      params,
+		FilterPort:  fi.Port,
+		FilterHost:  fi.Machine,
+		MeterFlags:  flags,
+		ControlPort: c.notifyPort,
+		ControlHost: c.machine.Name(),
+		UID:         c.uid,
+	}
+	rep, err := c.exchange(machineName, req.Wire())
+	if err != nil {
+		c.printf("process '%s' not created: %v\n", args[2], err)
+		return
+	}
+	if !rep.OK() {
+		c.printf("process '%s' not created: %s\n", args[2], rep.Status)
+		return
+	}
+	c.mu.Lock()
+	// "A process does not begin executing at this time, and its
+	// process state is new. The process is connected to jobname's
+	// filter and inherits the flags of job jobname."
+	job.Procs = append(job.Procs, &JobProc{
+		Name: args[2], PID: rep.PID, Machine: machineName,
+		State: StateNew, Flags: meter.Flag(flags),
+	})
+	c.mu.Unlock()
+	c.printf("process '%s' ... created: identifier = %d\n", args[2], rep.PID)
+}
+
+func (c *Controller) cmdAcquire(args []string) {
+	if len(args) != 3 {
+		c.printf("usage: acquire jobname machine pid\n")
+		return
+	}
+	jobName, machineName := args[0], args[1]
+	pid, err := strconv.Atoi(args[2])
+	if err != nil {
+		c.printf("bad process identifier '%s'\n", args[2])
+		return
+	}
+	c.mu.Lock()
+	job, ok := c.jobs[jobName]
+	var flags uint32
+	var fi *FilterInfo
+	if ok {
+		flags = uint32(job.Flags)
+		fi = job.Filter
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.printf("no job '%s'\n", jobName)
+		return
+	}
+	req := &daemon.ProcReq{
+		Type: daemon.TAcquireReq, PID: pid, UID: c.uid,
+		Flags: flags, FilterPort: fi.Port, FilterHost: fi.Machine,
+	}
+	rep, err := c.exchange(machineName, req.Wire())
+	if err != nil {
+		c.printf("process %d not acquired: %v\n", pid, err)
+		return
+	}
+	if !rep.OK() {
+		c.printf("process %d not acquired: %s\n", pid, rep.Status)
+		return
+	}
+	c.mu.Lock()
+	job.Procs = append(job.Procs, &JobProc{
+		Name: strconv.Itoa(pid), PID: pid, Machine: machineName,
+		State: StateAcquired, Flags: meter.Flag(flags),
+	})
+	c.mu.Unlock()
+	c.printf("process %d ... acquired\n", pid)
+}
+
+func (c *Controller) cmdSetFlags(args []string) {
+	if len(args) < 2 {
+		c.printf("usage: setflags jobname flag1 [flag2...]\n")
+		return
+	}
+	jobName := args[0]
+	c.mu.Lock()
+	job, ok := c.jobs[jobName]
+	c.mu.Unlock()
+	if !ok {
+		c.printf("no job '%s'\n", jobName)
+		return
+	}
+	// "The effect of setflags is to record the flag set ... and then
+	// set the flags for each process which is part of jobname." Flags
+	// accumulate: the active set is the union unless reset with '-'.
+	c.mu.Lock()
+	flags := job.Flags
+	c.mu.Unlock()
+	for _, tok := range args[1:] {
+		bits, clear, err := meter.ParseFlag(tok)
+		if err != nil {
+			c.printf("%v\n", err)
+			return
+		}
+		if clear {
+			flags &^= bits
+		} else {
+			flags |= bits
+		}
+	}
+	c.mu.Lock()
+	job.Flags = flags
+	procs := append([]*JobProc(nil), job.Procs...)
+	c.mu.Unlock()
+	c.printf("new job flags = %s\n", strings.Join(flags.FlagNames(), " "))
+	for _, p := range procs {
+		req := &daemon.ProcReq{Type: daemon.TSetFlagsReq, PID: p.PID, UID: c.uid, Flags: uint32(flags)}
+		rep, err := c.exchange(p.Machine, req.Wire())
+		switch {
+		case err != nil:
+			c.printf("Process '%s' : %v\n", p.Name, err)
+		case !rep.OK():
+			c.printf("Process '%s' : %s\n", p.Name, rep.Status)
+		default:
+			c.mu.Lock()
+			p.Flags = flags
+			c.mu.Unlock()
+			c.printf("Process '%s' : Flags set\n", p.Name)
+		}
+	}
+}
+
+// signalJob implements startjob and stopjob: every process in an
+// eligible state is signaled, and the user is informed of each
+// process's status.
+func (c *Controller) signalJob(jobName string, to State, reqType daemon.MsgType, verb string) {
+	c.mu.Lock()
+	job, ok := c.jobs[jobName]
+	var procs []*JobProc
+	if ok {
+		procs = append(procs, job.Procs...)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.printf("no job '%s'\n", jobName)
+		return
+	}
+	for _, p := range procs {
+		c.mu.Lock()
+		from := p.State
+		c.mu.Unlock()
+		if !CanTransition(from, to) {
+			// "Processes that are running, killed, or acquired cannot
+			// be started"; stopjob ignores killed and acquired.
+			c.printf("'%s' not %s (%s).\n", p.Name, verb, from)
+			continue
+		}
+		req := &daemon.ProcReq{Type: reqType, PID: p.PID, UID: c.uid}
+		rep, err := c.exchange(p.Machine, req.Wire())
+		switch {
+		case err != nil:
+			c.printf("'%s' not %s: %v\n", p.Name, verb, err)
+		case !rep.OK():
+			c.printf("'%s' not %s: %s\n", p.Name, verb, rep.Status)
+		default:
+			c.mu.Lock()
+			// The process may have terminated in the meantime; never
+			// overwrite killed.
+			if p.State == from {
+				p.State = to
+			}
+			c.mu.Unlock()
+			c.printf("'%s' %s.\n", p.Name, verb)
+		}
+	}
+}
+
+func (c *Controller) cmdStartJob(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: startjob jobname\n")
+		return
+	}
+	c.signalJob(args[0], StateRunning, daemon.TStartReq, "started")
+}
+
+func (c *Controller) cmdStopJob(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: stopjob jobname\n")
+		return
+	}
+	c.signalJob(args[0], StateStopped, daemon.TStopReq, "stopped")
+}
+
+// removeProc performs the per-process half of removejob: stopped
+// processes are killed (stopped→killed is a legal Figure 4.2 edge),
+// acquired processes have their filter connection taken down but
+// continue to execute.
+func (c *Controller) removeProc(p *JobProc) bool {
+	switch p.State {
+	case StateKilled:
+		return true
+	case StateStopped:
+		req := &daemon.ProcReq{Type: daemon.TKillReq, PID: p.PID, UID: c.uid}
+		rep, err := c.exchange(p.Machine, req.Wire())
+		if err != nil || !rep.OK() {
+			return false
+		}
+		c.mu.Lock()
+		p.State = StateKilled
+		c.mu.Unlock()
+		return true
+	case StateAcquired:
+		req := &daemon.ProcReq{Type: daemon.TReleaseReq, PID: p.PID, UID: c.uid}
+		rep, err := c.exchange(p.Machine, req.Wire())
+		return err == nil && rep.OK()
+	default:
+		return false
+	}
+}
+
+func (c *Controller) cmdRemoveJob(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: removejob jobname\n")
+		return
+	}
+	jobName := args[0]
+	c.mu.Lock()
+	job, ok := c.jobs[jobName]
+	var procs []*JobProc
+	if ok {
+		procs = append(procs, job.Procs...)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.printf("no job '%s'\n", jobName)
+		return
+	}
+	// "A job can only be removed if all of its processes are in one of
+	// the states killed, stopped, or acquired."
+	for _, p := range procs {
+		c.mu.Lock()
+		st := p.State
+		c.mu.Unlock()
+		if st == StateRunning || st == StateNew {
+			c.printf("job '%s' not removed: process '%s' is %s\n", jobName, p.Name, st)
+			return
+		}
+	}
+	for _, p := range procs {
+		if c.removeProc(p) {
+			c.printf("'%s' removed\n", p.Name)
+		} else {
+			c.printf("'%s' not removed\n", p.Name)
+		}
+	}
+	c.mu.Lock()
+	delete(c.jobs, jobName)
+	for i, n := range c.jobOrder {
+		if n == jobName {
+			c.jobOrder = append(c.jobOrder[:i], c.jobOrder[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *Controller) cmdRemoveProcess(args []string) {
+	if len(args) != 3 {
+		c.printf("usage: removeprocess jobname machine pid\n")
+		return
+	}
+	jobName, machineName := args[0], args[1]
+	pid, err := strconv.Atoi(args[2])
+	if err != nil {
+		c.printf("bad process identifier '%s'\n", args[2])
+		return
+	}
+	c.mu.Lock()
+	job, ok := c.jobs[jobName]
+	var target *JobProc
+	if ok {
+		target = job.proc(machineName, pid)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.printf("no job '%s'\n", jobName)
+		return
+	}
+	if target == nil {
+		c.printf("no process %d on %s in job '%s'\n", pid, machineName, jobName)
+		return
+	}
+	c.mu.Lock()
+	st := target.State
+	c.mu.Unlock()
+	if st == StateRunning || st == StateNew {
+		c.printf("process '%s' not removed: it is %s\n", target.Name, st)
+		return
+	}
+	if !c.removeProc(target) {
+		c.printf("'%s' not removed\n", target.Name)
+		return
+	}
+	c.mu.Lock()
+	for i, p := range job.Procs {
+		if p == target {
+			job.Procs = append(job.Procs[:i], job.Procs[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	c.printf("'%s' removed\n", target.Name)
+}
+
+func (c *Controller) cmdJobs(args []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(args) == 0 {
+		// "a list of the current jobs ... the number, the name, and
+		// the filter for each job."
+		for i, n := range c.jobOrder {
+			j := c.jobs[n]
+			fmt.Fprintf(c.sink, "%d '%s' filter '%s'\n", i+1, j.Name, j.Filter.Name)
+		}
+		return
+	}
+	for _, n := range args {
+		j, ok := c.jobs[n]
+		if !ok {
+			fmt.Fprintf(c.sink, "no job '%s'\n", n)
+			continue
+		}
+		fmt.Fprintf(c.sink, "job '%s':\n", n)
+		for _, p := range j.Procs {
+			fmt.Fprintf(c.sink, "  %d %s '%s' on %s flags = %s\n",
+				p.PID, p.State, p.Name, p.Machine, strings.Join(p.Flags.FlagNames(), " "))
+		}
+	}
+}
+
+// cmdPs lists the processes on a machine (pid, uid, name) through its
+// meterdaemon — an extension to the paper's command set so the user
+// can find the identifier the acquire command needs.
+func (c *Controller) cmdPs(args []string) {
+	if len(args) != 1 {
+		c.printf("usage: ps machine\n")
+		return
+	}
+	rep, err := c.exchange(args[0], (&daemon.ProcReq{Type: daemon.TListReq, UID: c.uid}).Wire())
+	if err != nil {
+		c.printf("ps: %v\n", err)
+		return
+	}
+	if !rep.OK() {
+		c.printf("ps: %s\n", rep.Status)
+		return
+	}
+	c.printf("%s", rep.Data)
+}
+
+// cmdStdin sends input to a process's standard input — the reverse of
+// the output-forwarding path: the daemon delivers the text through the
+// process's I/O gateway socket (section 3.5.2).
+func (c *Controller) cmdStdin(args []string) {
+	if len(args) < 4 {
+		c.printf("usage: stdin jobname machine pid word [word...]\n")
+		return
+	}
+	jobName, machineName := args[0], args[1]
+	pid, err := strconv.Atoi(args[2])
+	if err != nil {
+		c.printf("bad process identifier '%s'\n", args[2])
+		return
+	}
+	c.mu.Lock()
+	job, ok := c.jobs[jobName]
+	var target *JobProc
+	if ok {
+		target = job.proc(machineName, pid)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.printf("no job '%s'\n", jobName)
+		return
+	}
+	if target == nil {
+		c.printf("no process %d on %s in job '%s'\n", pid, machineName, jobName)
+		return
+	}
+	text := strings.Join(args[3:], " ") + "\n"
+	req := &daemon.ProcReq{Type: daemon.TStdinReq, PID: pid, UID: c.uid, Path: text}
+	rep, err := c.exchange(machineName, req.Wire())
+	switch {
+	case err != nil:
+		c.printf("stdin: %v\n", err)
+	case !rep.OK():
+		c.printf("stdin: %s\n", rep.Status)
+	}
+}
+
+func (c *Controller) cmdGetLog(args []string) {
+	if len(args) != 2 {
+		c.printf("usage: getlog filtername destfile\n")
+		return
+	}
+	c.mu.Lock()
+	f, ok := c.filters[args[0]]
+	c.mu.Unlock()
+	if !ok {
+		c.printf("no filter '%s'\n", args[0])
+		return
+	}
+	req := &daemon.ProcReq{Type: daemon.TGetFileReq, UID: c.uid, Path: filter.LogPath(f.Name)}
+	rep, err := c.exchange(f.Machine, req.Wire())
+	if err != nil {
+		c.printf("getlog: %v\n", err)
+		return
+	}
+	if !rep.OK() {
+		c.printf("getlog: %s\n", rep.Status)
+		return
+	}
+	dest := args[1]
+	if !strings.HasPrefix(dest, "/") {
+		dest = "/usr/" + dest
+	}
+	if err := c.machine.FS().Create(dest, c.uid, fsys.PrivateMode, []byte(rep.Data)); err != nil {
+		c.printf("getlog: %v\n", err)
+	}
+}
+
+func (c *Controller) cmdSource(args []string, depth int) {
+	if len(args) != 1 {
+		c.printf("usage: source filename\n")
+		return
+	}
+	if depth >= MaxSourceDepth {
+		c.printf("source nesting deeper than %d\n", MaxSourceDepth)
+		return
+	}
+	path := args[0]
+	if !strings.HasPrefix(path, "/") {
+		path = "/usr/" + path
+	}
+	data, err := c.machine.FS().Read(path, c.uid)
+	if err != nil {
+		c.printf("source: %v\n", err)
+		return
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !c.exec(line, depth+1) {
+			return
+		}
+	}
+}
+
+func (c *Controller) cmdSink(args []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(args) == 0 {
+		// "output is directed back to the terminal when a destination
+		// filename is not specified."
+		c.sink = c.terminal
+		c.sinkPath = ""
+		return
+	}
+	path := args[0]
+	if !strings.HasPrefix(path, "/") {
+		path = "/usr/" + path
+	}
+	c.sink = &fileSink{c: c, path: path}
+	c.sinkPath = path
+}
+
+// fileSink appends controller output to a file on the controller's
+// machine.
+type fileSink struct {
+	c    *Controller
+	path string
+}
+
+func (s *fileSink) Write(p []byte) (int, error) {
+	if err := s.c.machine.FS().Append(s.path, s.c.uid, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// cmdDie returns true when the controller actually exits. "If there
+// are still active processes ..., the user is warned, and the
+// controller does not exit. If the user immediately repeats the die
+// command ... the controller ... exits with the processes active."
+func (c *Controller) cmdDie() bool {
+	c.mu.Lock()
+	active := false
+	for _, j := range c.jobs {
+		for _, p := range j.Procs {
+			if p.State.Active() {
+				active = true
+			}
+		}
+	}
+	armed := c.dieArmed
+	c.mu.Unlock()
+	if active && !armed {
+		c.mu.Lock()
+		c.dieArmed = true
+		c.mu.Unlock()
+		c.printf("active processes exist; repeat die to exit anyway\n")
+		return false
+	}
+	// "Upon exit, all executing filter processes are removed."
+	c.mu.Lock()
+	filters := append([]string(nil), c.filterOrder...)
+	c.mu.Unlock()
+	for _, n := range filters {
+		c.mu.Lock()
+		f := c.filters[n]
+		c.mu.Unlock()
+		req := &daemon.ProcReq{Type: daemon.TKillReq, PID: f.PID, UID: c.uid}
+		_, _ = c.exchange(f.Machine, req.Wire())
+	}
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	// Shut down the controller's own kernel presence.
+	_ = c.machine.Signal(c.notify.PID(), kernel.SIGKILL)
+	c.notify.Exit(0)
+	c.cmd.Exit(0)
+	return true
+}

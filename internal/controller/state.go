@@ -1,0 +1,80 @@
+// Package controller implements the user interface of the measurement
+// system: the command interpreter the paper calls the control process
+// (sections 3.5 and 4.2–4.4).
+//
+// The controller organizes metered computations into jobs, creates
+// filter processes and metered processes through the meterdaemons,
+// tracks each process through the state machine of Figure 4.2, and
+// provides the command set of the user's manual (section 4.3).
+package controller
+
+import "fmt"
+
+// State is a controller-tracked process state — the five states of
+// Figure 4.2.
+type State int
+
+// Process states.
+const (
+	// StateNew: "the execution environment has been set up, but the
+	// process is suspended prior to the execution of the first
+	// instruction."
+	StateNew State = iota + 1
+	// StateAcquired: a previously existing process (such as a system
+	// server) being metered; it can only be metered, never stopped or
+	// killed.
+	StateAcquired
+	// StateRunning: the process is executing.
+	StateRunning
+	// StateStopped: suspended; it may resume.
+	StateStopped
+	// StateKilled: the process has completed or been removed; it
+	// cannot be restarted.
+	StateKilled
+)
+
+var stateNames = map[State]string{
+	StateNew:      "new",
+	StateAcquired: "acquired",
+	StateRunning:  "running",
+	StateStopped:  "stopped",
+	StateKilled:   "killed",
+}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// legalTransitions encodes the edges of Figure 4.2. Notably absent:
+// new→killed ("This restriction is enforced as a precautionary
+// measure, ensuring that the user does not accidentally remove a
+// computation that is in progress"), anything out of killed ("A
+// process cannot be restarted once it has been killed"), and any
+// transition for acquired processes ("An acquired process cannot be
+// stopped or killed, it can only be metered").
+var legalTransitions = map[State][]State{
+	StateNew:     {StateRunning, StateStopped},
+	StateRunning: {StateStopped, StateKilled},
+	StateStopped: {StateRunning, StateKilled},
+}
+
+// CanTransition reports whether Figure 4.2 permits moving a process
+// from one state to another.
+func CanTransition(from, to State) bool {
+	for _, t := range legalTransitions[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Active reports whether a process in this state counts as active for
+// the die command's warning ("If there are still active processes
+// (new, stopped, running, or acquired), the user is warned").
+func (s State) Active() bool {
+	return s == StateNew || s == StateStopped || s == StateRunning || s == StateAcquired
+}

@@ -1,0 +1,93 @@
+package controller
+
+import "testing"
+
+func TestFigure42Transitions(t *testing.T) {
+	type edge struct {
+		from, to State
+	}
+	legal := []edge{
+		{StateNew, StateRunning},
+		{StateNew, StateStopped},
+		{StateRunning, StateStopped},
+		{StateStopped, StateRunning},
+		{StateRunning, StateKilled},
+		{StateStopped, StateKilled},
+	}
+	legalSet := make(map[edge]bool)
+	for _, e := range legal {
+		legalSet[e] = true
+		if !CanTransition(e.from, e.to) {
+			t.Errorf("legal edge %v->%v rejected", e.from, e.to)
+		}
+	}
+	all := []State{StateNew, StateAcquired, StateRunning, StateStopped, StateKilled}
+	for _, from := range all {
+		for _, to := range all {
+			if !legalSet[edge{from, to}] && CanTransition(from, to) {
+				t.Errorf("illegal edge %v->%v allowed", from, to)
+			}
+		}
+	}
+}
+
+func TestNewCannotBeKilledDirectly(t *testing.T) {
+	// "A process cannot move directly to the killed state from the new
+	// state. This restriction is enforced as a precautionary measure."
+	if CanTransition(StateNew, StateKilled) {
+		t.Fatal("new->killed allowed")
+	}
+}
+
+func TestKilledIsTerminal(t *testing.T) {
+	for _, to := range []State{StateNew, StateRunning, StateStopped, StateAcquired} {
+		if CanTransition(StateKilled, to) {
+			t.Errorf("killed->%v allowed", to)
+		}
+	}
+}
+
+func TestAcquiredCannotBeControlled(t *testing.T) {
+	// "An acquired process cannot be stopped or killed, it can only be
+	// metered."
+	for _, to := range []State{StateRunning, StateStopped, StateKilled} {
+		if CanTransition(StateAcquired, to) {
+			t.Errorf("acquired->%v allowed", to)
+		}
+	}
+}
+
+func TestActiveStates(t *testing.T) {
+	for s, want := range map[State]bool{
+		StateNew: true, StateAcquired: true, StateRunning: true, StateStopped: true,
+		StateKilled: false,
+	} {
+		if s.Active() != want {
+			t.Errorf("%v.Active() = %v, want %v", s, s.Active(), want)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if StateNew.String() != "new" || StateKilled.String() != "killed" || StateAcquired.String() != "acquired" {
+		t.Fatal("state names wrong")
+	}
+	if State(99).String() != "state(99)" {
+		t.Fatal("unknown state name wrong")
+	}
+}
+
+func TestValidToken(t *testing.T) {
+	// Section 4.3's literal rules: digits, letters, '/' and '.'
+	// (plus '-' for flag resets).
+	for _, ok := range []string{"foo", "A", "red", "/bin/filter", "file.txt", "-send", "123"} {
+		if !validToken(ok) {
+			t.Errorf("validToken(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "a b", "x;y", "nam*e", "q!", "päth"} {
+		if validToken(bad) {
+			t.Errorf("validToken(%q) = true", bad)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package core assembles the complete measurement system of the paper:
+// a simulated Berkeley UNIX 4.2BSD cluster with metering in each
+// kernel, a meterdaemon on every machine, the standard filter
+// installed, and controllers on demand — the one-call facade the
+// examples, command-line tools, and benchmarks build on.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dpm/internal/analysis"
+	"dpm/internal/clock"
+	"dpm/internal/controller"
+	"dpm/internal/daemon"
+	"dpm/internal/filter"
+	"dpm/internal/fsys"
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+	"dpm/internal/netsim"
+	"dpm/internal/trace"
+)
+
+// DefaultUID is the account installed on every machine of a system.
+const DefaultUID = 100
+
+// Config describes the cluster to build.
+type Config struct {
+	// Machines lists host names; the default is the four machines of
+	// the paper's example session: red, green, blue and yellow.
+	Machines []string
+	// Networks maps a network name to the machines attached to it.
+	// The default attaches every machine to one network, "ether0".
+	Networks map[string][]string
+	// NetOptions configures individual networks (loss, latency,
+	// reordering).
+	NetOptions map[string][]netsim.Option
+	// UID is the user account created on every machine (DefaultUID if
+	// zero).
+	UID int
+	// Kernel carries cluster-wide kernel parameters.
+	Kernel kernel.Config
+	// PerfectClocks disables the default per-machine clock skew.
+	// By default machine i starts with a small offset and drift, so
+	// traces exhibit the imperfect synchronization the paper's
+	// analyses must cope with (section 1.1).
+	PerfectClocks bool
+}
+
+// System is a running measurement installation.
+type System struct {
+	Cluster *kernel.Cluster
+	UID     int
+	Daemons map[string]*kernel.Process
+
+	machines []string
+}
+
+// NewSystem builds and starts a system: machines, networks, accounts,
+// meterdaemons, and the standard filter files on every machine.
+func NewSystem(cfg Config) (*System, error) {
+	if len(cfg.Machines) == 0 {
+		cfg.Machines = []string{"red", "green", "blue", "yellow"}
+	}
+	if cfg.Networks == nil {
+		cfg.Networks = map[string][]string{"ether0": cfg.Machines}
+	}
+	if cfg.UID == 0 {
+		cfg.UID = DefaultUID
+	}
+	c := kernel.NewCluster(cfg.Kernel)
+	for net := range cfg.Networks {
+		c.AddNetwork(net, cfg.NetOptions[net]...)
+	}
+	known := make(map[string]bool, len(cfg.Machines))
+	for _, m := range cfg.Machines {
+		known[m] = true
+	}
+	attachments := make(map[string][]string) // machine -> networks
+	for net, machines := range cfg.Networks {
+		for _, m := range machines {
+			if !known[m] {
+				return nil, fmt.Errorf("core: network %q names unknown machine %q", net, m)
+			}
+			attachments[m] = append(attachments[m], net)
+		}
+	}
+	s := &System{Cluster: c, UID: cfg.UID, Daemons: make(map[string]*kernel.Process), machines: cfg.Machines}
+	for i, name := range cfg.Machines {
+		var clk *clock.MachineClock
+		if !cfg.PerfectClocks {
+			// Deterministic skew: machine i starts 13i ms late and
+			// drifts (100i - 150) ppm, so separate machines' clocks
+			// only roughly correspond (paper section 4.1).
+			clk = clock.New(
+				clock.WithOffset(time.Duration(i)*13*time.Millisecond),
+				clock.WithDriftPPM(int64(100*i-150)),
+			)
+		}
+		m, err := c.AddMachine(name, clk, attachments[name]...)
+		if err != nil {
+			return nil, err
+		}
+		m.AddAccount(cfg.UID, "user")
+		d, err := daemon.Install(c, m)
+		if err != nil {
+			return nil, err
+		}
+		s.Daemons[name] = d
+		if err := filter.Install(c, m, 0); err != nil {
+			return nil, err
+		}
+		if err := filter.InstallCounting(c, m, 0); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Machine returns a machine by name.
+func (s *System) Machine(name string) (*kernel.Machine, error) {
+	return s.Cluster.Machine(name)
+}
+
+// NewController starts a controller for the system's user on the
+// given machine, writing to out.
+func (s *System) NewController(machine string, out io.Writer) (*controller.Controller, error) {
+	return controller.New(s.Cluster, machine, s.UID, out)
+}
+
+// RegisterWorkload registers a program and installs it as an
+// executable file /bin/<name> on the given machines (all machines when
+// none are named).
+func (s *System) RegisterWorkload(name string, prog kernel.Program, machines ...string) error {
+	s.Cluster.RegisterProgram(name, prog)
+	if len(machines) == 0 {
+		machines = s.machines
+	}
+	for _, mn := range machines {
+		m, err := s.Cluster.Machine(mn)
+		if err != nil {
+			return err
+		}
+		if err := m.FS().CreateExecutable("/bin/"+name, s.UID, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTrace reads and parses a filter's trace log from the machine it
+// runs on.
+func (s *System) ReadTrace(machine, filterName string) ([]trace.Event, error) {
+	m, err := s.Cluster.Machine(machine)
+	if err != nil {
+		return nil, err
+	}
+	data, err := m.FS().Read(filter.LogPath(filterName), fsys.Superuser)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ParseLog(data)
+}
+
+// MatchOptions returns analysis options with this cluster's host→
+// machine mapping, so multi-network systems analyze correctly.
+func (s *System) MatchOptions() *analysis.MatchOptions {
+	hostToMachine := make(map[uint32]int)
+	for _, m := range s.Cluster.Machines() {
+		hostToMachine[m.PrimaryHostID()] = int(m.ID())
+	}
+	return &analysis.MatchOptions{HostToMachine: hostToMachine}
+}
+
+// Shutdown stops everything.
+func (s *System) Shutdown() { s.Cluster.Shutdown() }
+
+// WaitJob polls a controller until every process of the named job has
+// terminated (entered the killed state), or the timeout expires.
+func WaitJob(ctl *controller.Controller, job string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		found, done := false, true
+		for _, j := range ctl.Jobs() {
+			if j.Name != job {
+				continue
+			}
+			found = true
+			for _, p := range j.Procs {
+				if p.State != controller.StateKilled {
+					done = false
+				}
+			}
+		}
+		if found && done {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: job %q did not complete within %v", job, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// WaitTrace polls until the named filter's trace satisfies the
+// predicate, returning the parsed events.
+func (s *System) WaitTrace(machine, filterName string, timeout time.Duration, ok func([]trace.Event) bool) ([]trace.Event, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		events, err := s.ReadTrace(machine, filterName)
+		if err == nil && ok(events) {
+			return events, nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return nil, fmt.Errorf("core: trace %s/%s unavailable: %w", machine, filterName, err)
+			}
+			return events, fmt.Errorf("core: trace %s/%s incomplete after %v", machine, filterName, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TermCount returns a WaitTrace predicate satisfied once n termproc
+// records are present — i.e. n metered processes have finished and
+// flushed.
+func TermCount(n int) func([]trace.Event) bool {
+	return func(events []trace.Event) bool {
+		c := 0
+		for _, e := range events {
+			if e.Type == meter.EvTermProc {
+				c++
+			}
+		}
+		return c >= n
+	}
+}
+
+// RunScript drives a controller through a command script and returns
+// an error if the controller exited early.
+func RunScript(ctl *controller.Controller, lines []string) error {
+	for _, line := range lines {
+		if !ctl.Exec(line) {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: script ended without die")
+}

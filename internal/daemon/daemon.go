@@ -1,0 +1,507 @@
+package daemon
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+)
+
+// Port is the well-known port every meterdaemon listens on. "A
+// meterdaemon spends most of its time listening for an IPC connection
+// request from a controller process" (section 3.5.1).
+const Port = 551
+
+// ProgramName is the registry name of the meterdaemon program.
+const ProgramName = "dpm-meterdaemon"
+
+// Install registers the daemon program with the cluster and starts a
+// meterdaemon (as root) on the given machine, returning once it is
+// listening. "There must be a meterdaemon on each machine that
+// supports the measurement system."
+func Install(c *kernel.Cluster, m *kernel.Machine) (*kernel.Process, error) {
+	c.RegisterProgram(ProgramName, Main)
+	p, err := m.Spawn(kernel.SpawnSpec{UID: 0, Name: "meterdaemon", Program: Main})
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !m.PortBound(kernel.SockStream, Port) {
+		if exited, status, _ := p.Exited(); exited {
+			return nil, fmt.Errorf("daemon: meterdaemon on %s exited with status %d", m.Name(), status)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("daemon: meterdaemon on %s never started listening", m.Name())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return p, nil
+}
+
+// childInfo is the daemon's record of one process it created.
+type childInfo struct {
+	pid         int
+	uid         int
+	controlHost string
+	controlPort uint16
+	stdioPort   uint16 // the child's end of the I/O gateway
+}
+
+// exitNotePrefix marks kernel-injected child exit notes on the gateway
+// socket (the simulation's SIGCHLD).
+const exitNotePrefix = "X "
+
+// Main is the meterdaemon program. It serves controller requests one
+// per connection, forwards child standard output to the controllers,
+// and reports child terminations by initiating a connection to the
+// responsible controller (section 3.5.1).
+func Main(p *kernel.Process) int {
+	d := &daemonState{
+		p:        p,
+		children: make(map[int]*childInfo),
+		byStdio:  make(map[uint16]*childInfo),
+	}
+	lfd, err := p.Socket(meter.AFInet, kernel.SockStream)
+	if err != nil {
+		return 1
+	}
+	if err := p.BindPort(lfd, Port); err != nil {
+		p.Printf("meterdaemon: %v\n", err)
+		return 1
+	}
+	if err := p.Listen(lfd, 32); err != nil {
+		return 1
+	}
+	gfd, err := p.Socket(meter.AFInet, kernel.SockDgram)
+	if err != nil {
+		return 1
+	}
+	if err := p.BindPort(gfd, 0); err != nil {
+		return 1
+	}
+	gname, err := p.SocketName(gfd)
+	if err != nil {
+		return 1
+	}
+	_, d.gatewayPort = gname.Inet()
+	d.gatewayName = gname
+	d.gfd = gfd
+
+	for {
+		ready, err := p.Select([]int{lfd, gfd})
+		if err != nil {
+			return 0 // killed at shutdown
+		}
+		for _, fd := range ready {
+			switch fd {
+			case lfd:
+				conn, _, err := p.Accept(lfd)
+				if err != nil {
+					return 0
+				}
+				d.serveConn(conn)
+			case gfd:
+				data, src, err := p.RecvFrom(gfd, 8192)
+				if err != nil {
+					return 0
+				}
+				d.handleGateway(data, src)
+			}
+		}
+	}
+}
+
+type daemonState struct {
+	p           *kernel.Process
+	gfd         int // the gateway datagram socket
+	gatewayPort uint16
+	gatewayName meter.Name
+	children    map[int]*childInfo
+	byStdio     map[uint16]*childInfo
+}
+
+// serveConn reads one request, executes it, replies, and closes — the
+// temporary-connection RPC discipline of section 3.5.1.
+func (d *daemonState) serveConn(conn int) {
+	defer func() { _ = d.p.Close(conn) }()
+	req, err := readWire(d.p, conn)
+	if err != nil {
+		return
+	}
+	rep := d.handle(req)
+	_, _ = d.p.Send(conn, rep.Wire().Encode())
+}
+
+func (d *daemonState) handle(w *WireMsg) *Reply {
+	switch w.Type {
+	case TCreateReq:
+		req, err := ParseCreateReq(w)
+		if err != nil {
+			return &Reply{Type: TCreateRep, Status: err.Error()}
+		}
+		return d.handleCreate(req)
+	case TSetFlagsReq:
+		return d.handleSetFlags(ParseProcReq(w))
+	case TStartReq:
+		return d.handleSignal(ParseProcReq(w), kernel.SIGCONT, TStartRep)
+	case TStopReq:
+		return d.handleSignal(ParseProcReq(w), kernel.SIGSTOP, TStopRep)
+	case TKillReq:
+		return d.handleSignal(ParseProcReq(w), kernel.SIGKILL, TKillRep)
+	case TAcquireReq:
+		return d.handleAcquire(ParseProcReq(w))
+	case TGetFileReq:
+		return d.handleGetFile(ParseProcReq(w))
+	case TReleaseReq:
+		return d.handleRelease(ParseProcReq(w))
+	case TListReq:
+		return d.handleList()
+	case TStdinReq:
+		return d.handleStdin(ParseProcReq(w))
+	default:
+		return &Reply{Type: TCreateRep, Status: fmt.Sprintf("unknown request %v", w.Type)}
+	}
+}
+
+// connectMeterSocket creates a stream socket connected to a filter,
+// retrying briefly while the (asynchronously created) filter comes up.
+func (d *daemonState) connectMeterSocket(host string, port uint16) (int, error) {
+	hostID, _, err := d.p.Machine().Cluster().ResolveFrom(d.p.Machine(), host)
+	if err != nil {
+		return -1, err
+	}
+	name := meter.InetName(hostID, port)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		fd, err := d.p.Socket(meter.AFInet, kernel.SockStream)
+		if err != nil {
+			return -1, err
+		}
+		err = d.p.Connect(fd, name)
+		if err == nil {
+			return fd, nil
+		}
+		_ = d.p.Close(fd)
+		if !errors.Is(err, kernel.ErrConnRefused) || time.Now().After(deadline) {
+			return -1, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (d *daemonState) handleCreate(req *CreateReq) *Reply {
+	m := d.p.Machine()
+	if !m.HasAccount(req.UID) {
+		return &Reply{Type: TCreateRep, Status: fmt.Sprintf("uid %d has no account on %s", req.UID, m.Name())}
+	}
+	if _, err := m.FS().Executable(req.Filename, req.UID); err != nil {
+		return &Reply{Type: TCreateRep, Status: err.Error()}
+	}
+
+	// The per-process I/O gateway socket (section 3.5.2): a datagram
+	// socket connected back to the daemon's gateway, installed as the
+	// child's standard descriptors. Datagram links are reliable
+	// within a single machine.
+	sfd, err := d.p.Socket(meter.AFInet, kernel.SockDgram)
+	if err != nil {
+		return &Reply{Type: TCreateRep, Status: err.Error()}
+	}
+	if err := d.p.BindPort(sfd, 0); err != nil {
+		return &Reply{Type: TCreateRep, Status: err.Error()}
+	}
+	if err := d.p.Connect(sfd, d.gatewayName); err != nil {
+		return &Reply{Type: TCreateRep, Status: err.Error()}
+	}
+	stdioName, _ := d.p.SocketName(sfd)
+	_, stdioPort := stdioName.Inet()
+	stdio, err := d.p.SocketOf(sfd)
+	if err != nil {
+		return &Reply{Type: TCreateRep, Status: err.Error()}
+	}
+
+	// Standard input redirected from a file, if requested: the file
+	// was copied to this machine by the controller and is opened by
+	// the meterdaemon (section 3.5.2).
+	var stdin io.Reader
+	if req.StdinFile != "" {
+		data, err := m.FS().Read(req.StdinFile, req.UID)
+		if err != nil {
+			return &Reply{Type: TCreateRep, Status: err.Error()}
+		}
+		stdin = bytes.NewReader(data)
+	}
+
+	child, err := m.Spawn(kernel.SpawnSpec{
+		UID:       req.UID,
+		Name:      req.Filename,
+		Args:      req.Params,
+		Path:      req.Filename,
+		Suspended: true,
+		Stdio:     stdio,
+		Stdin:     stdin,
+		PPID:      d.p.PID(),
+	})
+	if err != nil {
+		return &Reply{Type: TCreateRep, Status: err.Error()}
+	}
+
+	// Wire up the meter connection before the process can run its
+	// first instruction: the process is connected to its job's filter
+	// at creation time even if no flags are set yet — setflags can
+	// turn events on at any point during execution (section 4.3).
+	if req.FilterHost != "" {
+		msfd, err := d.connectMeterSocket(req.FilterHost, req.FilterPort)
+		if err != nil {
+			_ = m.Signal(child.PID(), kernel.SIGKILL)
+			return &Reply{Type: TCreateRep, Status: fmt.Sprintf("meter connection: %v", err)}
+		}
+		if err := d.p.Setmeter(child.PID(), int(req.MeterFlags), msfd); err != nil {
+			_ = m.Signal(child.PID(), kernel.SIGKILL)
+			return &Reply{Type: TCreateRep, Status: err.Error()}
+		}
+		if err := d.p.Close(msfd); err != nil {
+			return &Reply{Type: TCreateRep, Status: err.Error()}
+		}
+	}
+
+	info := &childInfo{
+		pid:         child.PID(),
+		uid:         req.UID,
+		controlHost: req.ControlHost,
+		controlPort: req.ControlPort,
+		stdioPort:   stdioPort,
+	}
+	d.children[info.pid] = info
+	d.byStdio[info.stdioPort] = info
+
+	// The simulation's SIGCHLD: the kernel pokes the daemon's gateway
+	// when the child terminates; the daemon then connects to the
+	// controller and reports the state change (section 3.5.1).
+	gatewayPort := d.gatewayPort
+	child.OnExit(func(cp *kernel.Process, status int, reason string) {
+		note := fmt.Sprintf("%s%d %d %s", exitNotePrefix, cp.PID(), status, reason)
+		m.InjectDgram(gatewayPort, []byte(note), meter.Name{})
+	})
+
+	return &Reply{Type: TCreateRep, PID: child.PID(), Status: "ok"}
+}
+
+// checkTarget verifies the request's uid may control the target pid.
+func (d *daemonState) checkTarget(req *ProcReq, repType MsgType) (*kernel.Process, *Reply) {
+	target, err := d.p.Machine().Proc(req.PID)
+	if err != nil {
+		return nil, &Reply{Type: repType, PID: req.PID, Status: err.Error()}
+	}
+	if req.UID != 0 && target.UID() != req.UID {
+		return nil, &Reply{Type: repType, PID: req.PID, Status: "permission denied"}
+	}
+	return target, nil
+}
+
+func (d *daemonState) handleSetFlags(req *ProcReq) *Reply {
+	if _, rep := d.checkTarget(req, TSetFlagsRep); rep != nil {
+		return rep
+	}
+	if err := d.p.Setmeter(req.PID, int(req.Flags), kernel.NoChange); err != nil {
+		return &Reply{Type: TSetFlagsRep, PID: req.PID, Status: err.Error()}
+	}
+	return &Reply{Type: TSetFlagsRep, PID: req.PID, Status: "ok"}
+}
+
+func (d *daemonState) handleSignal(req *ProcReq, sig kernel.Signal, repType MsgType) *Reply {
+	if _, rep := d.checkTarget(req, repType); rep != nil {
+		return rep
+	}
+	if err := d.p.Machine().Signal(req.PID, sig); err != nil {
+		return &Reply{Type: repType, PID: req.PID, Status: err.Error()}
+	}
+	return &Reply{Type: repType, PID: req.PID, Status: "ok"}
+}
+
+// handleAcquire meters an already-executing process: its meter
+// connection is established and flags set, but its execution state is
+// never touched (section 3.5.2: "no changes are made to the handling
+// of the processes' I/O ... the user is not allowed to modify the
+// processes' execution state").
+func (d *daemonState) handleAcquire(req *ProcReq) *Reply {
+	if _, rep := d.checkTarget(req, TAcquireRep); rep != nil {
+		return rep
+	}
+	if req.FilterHost == "" {
+		return &Reply{Type: TAcquireRep, PID: req.PID, Status: "no filter specified"}
+	}
+	msfd, err := d.connectMeterSocket(req.FilterHost, req.FilterPort)
+	if err != nil {
+		return &Reply{Type: TAcquireRep, PID: req.PID, Status: err.Error()}
+	}
+	if err := d.p.Setmeter(req.PID, int(req.Flags), msfd); err != nil {
+		_ = d.p.Close(msfd)
+		return &Reply{Type: TAcquireRep, PID: req.PID, Status: err.Error()}
+	}
+	if err := d.p.Close(msfd); err != nil {
+		return &Reply{Type: TAcquireRep, PID: req.PID, Status: err.Error()}
+	}
+	return &Reply{Type: TAcquireRep, PID: req.PID, Status: "ok"}
+}
+
+// handleRelease stops metering a process: all flags off and the meter
+// connection closed. The process itself continues to execute.
+func (d *daemonState) handleRelease(req *ProcReq) *Reply {
+	if _, rep := d.checkTarget(req, TReleaseRep); rep != nil {
+		return rep
+	}
+	if err := d.p.Setmeter(req.PID, kernel.FlagsNone, kernel.SockNone); err != nil {
+		return &Reply{Type: TReleaseRep, PID: req.PID, Status: err.Error()}
+	}
+	return &Reply{Type: TReleaseRep, PID: req.PID, Status: "ok"}
+}
+
+// handleStdin forwards user input to a child's standard descriptors:
+// the daemon sends it as a datagram to the child's end of the I/O
+// gateway, where the process's next read of descriptor 0 picks it up.
+// Only processes this daemon created (and whose stdio is the gateway)
+// can receive input this way. The text travels in the request's Path
+// field.
+func (d *daemonState) handleStdin(req *ProcReq) *Reply {
+	if _, rep := d.checkTarget(req, TStdinRep); rep != nil {
+		return rep
+	}
+	info := d.children[req.PID]
+	if info == nil {
+		return &Reply{Type: TStdinRep, PID: req.PID, Status: "process was not created by this meterdaemon"}
+	}
+	dest := meter.InetName(d.p.Machine().PrimaryHostID(), info.stdioPort)
+	if _, err := d.p.SendTo(d.gfd, []byte(req.Path), dest); err != nil {
+		return &Reply{Type: TStdinRep, PID: req.PID, Status: err.Error()}
+	}
+	return &Reply{Type: TStdinRep, PID: req.PID, Status: "ok"}
+}
+
+// handleList reports the machine's live processes, one per line:
+// "pid uid name", sorted by pid.
+func (d *daemonState) handleList() *Reply {
+	procs := d.p.Machine().Procs()
+	sort.Slice(procs, func(i, j int) bool { return procs[i].PID() < procs[j].PID() })
+	var b strings.Builder
+	for _, proc := range procs {
+		fmt.Fprintf(&b, "%d %d %s\n", proc.PID(), proc.UID(), proc.Name())
+	}
+	return &Reply{Type: TListRep, Status: "ok", Data: b.String()}
+}
+
+func (d *daemonState) handleGetFile(req *ProcReq) *Reply {
+	data, err := d.p.Machine().FS().Read(req.Path, req.UID)
+	if err != nil {
+		return &Reply{Type: TGetFileRep, Status: err.Error()}
+	}
+	return &Reply{Type: TGetFileRep, Status: "ok", Data: string(data)}
+}
+
+// handleGateway dispatches datagrams arriving on the gateway socket:
+// kernel-injected child exit notes, or child standard output to be
+// forwarded to the controller.
+func (d *daemonState) handleGateway(data []byte, src meter.Name) {
+	if src.IsZero() && strings.HasPrefix(string(data), exitNotePrefix) {
+		parts := strings.Fields(string(data[len(exitNotePrefix):]))
+		if len(parts) != 3 {
+			return
+		}
+		pid, _ := strconv.Atoi(parts[0])
+		status, _ := strconv.Atoi(parts[1])
+		info := d.children[pid]
+		if info == nil {
+			return
+		}
+		delete(d.children, pid)
+		delete(d.byStdio, info.stdioPort)
+		if info.controlHost == "" {
+			return
+		}
+		sc := &StateChange{Machine: d.p.Machine().Name(), PID: pid, Reason: parts[2], Status: status}
+		_ = d.notifyController(info, sc.Wire())
+		return
+	}
+	if src.Family() == meter.AFInet {
+		_, port := src.Inet()
+		info := d.byStdio[port]
+		if info == nil || info.controlHost == "" {
+			return
+		}
+		iod := &IOData{Machine: d.p.Machine().Name(), PID: info.pid, Data: string(data)}
+		_ = d.notifyController(info, iod.Wire())
+	}
+}
+
+// notifyController opens a temporary connection to the controller's
+// notification socket, sends one message, and closes.
+func (d *daemonState) notifyController(info *childInfo, msg *WireMsg) error {
+	hostID, _, err := d.p.Machine().Cluster().ResolveFrom(d.p.Machine(), info.controlHost)
+	if err != nil {
+		return err
+	}
+	fd, err := d.p.Socket(meter.AFInet, kernel.SockStream)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = d.p.Close(fd) }()
+	if err := d.p.Connect(fd, meter.InetName(hostID, info.controlPort)); err != nil {
+		return err
+	}
+	_, err = d.p.Send(fd, msg.Encode())
+	return err
+}
+
+// readWire accumulates stream bytes on a connection until one complete
+// wire message is decoded.
+func readWire(p *kernel.Process, fd int) (*WireMsg, error) {
+	var buf []byte
+	for {
+		msg, _, err := DecodeWire(buf)
+		if err == nil {
+			return msg, nil
+		}
+		if !errors.Is(err, ErrWireShort) {
+			return nil, err
+		}
+		data, rerr := p.Recv(fd, 8192)
+		if rerr != nil {
+			return nil, rerr
+		}
+		buf = append(buf, data...)
+	}
+}
+
+// Exchange performs one controller-side RPC: connect to the daemon on
+// host, send the request, read the reply, and close the connection
+// ("The stream connection between the controller and a meterdaemon
+// exists for the duration of a single exchange of messages", section
+// 3.5.1).
+func Exchange(p *kernel.Process, host string, req *WireMsg) (*Reply, error) {
+	hostID, _, err := p.Machine().Cluster().ResolveFrom(p.Machine(), host)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := p.Socket(meter.AFInet, kernel.SockStream)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = p.Close(fd) }()
+	if err := p.Connect(fd, meter.InetName(hostID, Port)); err != nil {
+		return nil, fmt.Errorf("daemon on %s: %w", host, err)
+	}
+	if _, err := p.Send(fd, req.Encode()); err != nil {
+		return nil, err
+	}
+	w, err := readWire(p, fd)
+	if err != nil {
+		return nil, err
+	}
+	return ParseReply(w), nil
+}

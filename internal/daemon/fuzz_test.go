@@ -1,0 +1,30 @@
+package daemon
+
+import "testing"
+
+// FuzzDecodeWire checks the controller/daemon wire decoder on
+// arbitrary bytes: no panics, exact consumption, and a re-encode match
+// for accepted messages.
+func FuzzDecodeWire(f *testing.F) {
+	f.Add((&CreateReq{Filename: "/bin/x", Params: []string{"a", "b"}, UID: 1}).Wire().Encode())
+	f.Add((&StateChange{Machine: "red", PID: 7, Reason: "normal"}).Wire().Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, n, err := DecodeWire(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		re := w.Encode()
+		if len(re) != n {
+			t.Fatalf("re-encode %d != consumed %d", len(re), n)
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("byte %d changed", i)
+			}
+		}
+	})
+}

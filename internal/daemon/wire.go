@@ -1,0 +1,337 @@
+// Package daemon implements the meterdaemon and the controller↔daemon
+// communication protocol of the paper (section 3.5).
+//
+// A meterdaemon runs on each machine that supports the measurement
+// system; its sole purpose is to carry out control functions for the
+// controller: creating processes (suspended, with their metering and
+// standard I/O wired up), setting meter flags, starting, stopping and
+// killing processes, acquiring already-running processes for metering,
+// and reporting state changes back to the controller. Exchanges are
+// structured as remote procedure calls over a temporary stream
+// connection per request (section 3.5.1).
+package daemon
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// MsgType identifies a controller/daemon message. The numbering is
+// anchored by Figure 3.6, which shows type 11 for the create request
+// and type 18 for the create reply; the other requests and replies
+// fill the ranges around those two.
+type MsgType uint32
+
+// Protocol message types.
+const (
+	TCreateReq   MsgType = 11
+	TSetFlagsReq MsgType = 12
+	TStartReq    MsgType = 13
+	TStopReq     MsgType = 14
+	TKillReq     MsgType = 15
+	TAcquireReq  MsgType = 16
+	TGetFileReq  MsgType = 17
+	TCreateRep   MsgType = 18
+	TSetFlagsRep MsgType = 19
+	TStartRep    MsgType = 20
+	TStopRep     MsgType = 21
+	TKillRep     MsgType = 22
+	TAcquireRep  MsgType = 23
+	TGetFileRep  MsgType = 24
+	// TStateChange is the one daemon-initiated message: sent to the
+	// controller's notification socket when a child process changes
+	// state (section 3.5.1).
+	TStateChange MsgType = 25
+	// TIOData forwards a process's standard output to its controller
+	// through the daemon gateway (section 3.5.2).
+	TIOData MsgType = 26
+	// TReleaseReq/TReleaseRep take down a process's meter connection:
+	// "When an acquired process is removed, the control program
+	// insures that the filter connection of that process is taken down
+	// ... but the process continues to execute" (section 4.3).
+	TReleaseReq MsgType = 27
+	TReleaseRep MsgType = 28
+	// TListReq/TListRep enumerate a machine's processes — an extension
+	// beyond the paper's protocol, needed so a user can discover the
+	// process identifier the acquire command requires.
+	TListReq MsgType = 29
+	TListRep MsgType = 30
+	// TStdinReq/TStdinRep carry user input to a process's standard
+	// input — the reverse of the output path: "The reverse path is
+	// traversed when sending standard input from the user to the
+	// process" (section 3.5.2).
+	TStdinReq MsgType = 31
+	TStdinRep MsgType = 32
+)
+
+var typeNames = map[MsgType]string{
+	TCreateReq: "create request", TCreateRep: "create reply",
+	TSetFlagsReq: "setflags request", TSetFlagsRep: "setflags reply",
+	TStartReq: "start request", TStartRep: "start reply",
+	TStopReq: "stop request", TStopRep: "stop reply",
+	TKillReq: "kill request", TKillRep: "kill reply",
+	TAcquireReq: "acquire request", TAcquireRep: "acquire reply",
+	TGetFileReq: "getfile request", TGetFileRep: "getfile reply",
+	TStateChange: "state change", TIOData: "io data",
+	TReleaseReq: "release request", TReleaseRep: "release reply",
+	TListReq: "list request", TListRep: "list reply",
+	TStdinReq: "stdin request", TStdinRep: "stdin reply",
+}
+
+func (t MsgType) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("type(%d)", uint32(t))
+}
+
+// WireMsg is one protocol message: a type and a variable-format body,
+// carried as a list of fields (Figure 3.6: "The remainder of the
+// message, the body, is variable format and depends on the message
+// type").
+type WireMsg struct {
+	Type   MsgType
+	Fields []string
+}
+
+// Errors from wire decoding.
+var (
+	ErrWireShort   = errors.New("daemon: incomplete wire message")
+	ErrWireCorrupt = errors.New("daemon: corrupt wire message")
+)
+
+// maxWireSize bounds one message (a getlog reply carries a whole trace
+// file).
+const maxWireSize = 16 << 20
+
+// Encode serializes the message: total size, type, field count, then
+// length-prefixed fields.
+func (w *WireMsg) Encode() []byte {
+	size := 12
+	for _, f := range w.Fields {
+		size += 4 + len(f)
+	}
+	b := make([]byte, 0, size)
+	le := binary.LittleEndian
+	b = le.AppendUint32(b, uint32(size))
+	b = le.AppendUint32(b, uint32(w.Type))
+	b = le.AppendUint32(b, uint32(len(w.Fields)))
+	for _, f := range w.Fields {
+		b = le.AppendUint32(b, uint32(len(f)))
+		b = append(b, f...)
+	}
+	return b
+}
+
+// DecodeWire parses one message from the front of buf, returning the
+// bytes consumed. ErrWireShort means more bytes are needed.
+func DecodeWire(buf []byte) (*WireMsg, int, error) {
+	le := binary.LittleEndian
+	if len(buf) < 12 {
+		return nil, 0, ErrWireShort
+	}
+	size := int(le.Uint32(buf[0:4]))
+	if size < 12 || size > maxWireSize {
+		return nil, 0, fmt.Errorf("%w: size %d", ErrWireCorrupt, size)
+	}
+	if len(buf) < size {
+		return nil, 0, ErrWireShort
+	}
+	w := &WireMsg{Type: MsgType(le.Uint32(buf[4:8]))}
+	count := int(le.Uint32(buf[8:12]))
+	if count < 0 || count > 1<<16 {
+		return nil, 0, fmt.Errorf("%w: field count %d", ErrWireCorrupt, count)
+	}
+	off := 12
+	for i := 0; i < count; i++ {
+		if off+4 > size {
+			return nil, 0, fmt.Errorf("%w: truncated field %d", ErrWireCorrupt, i)
+		}
+		flen := int(le.Uint32(buf[off : off+4]))
+		off += 4
+		if flen < 0 || off+flen > size {
+			return nil, 0, fmt.Errorf("%w: field %d overruns message", ErrWireCorrupt, i)
+		}
+		w.Fields = append(w.Fields, string(buf[off:off+flen]))
+		off += flen
+	}
+	if off != size {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrWireCorrupt, size-off)
+	}
+	return w, size, nil
+}
+
+// field accessors with bounds checking.
+
+func (w *WireMsg) str(i int) string {
+	if i < len(w.Fields) {
+		return w.Fields[i]
+	}
+	return ""
+}
+
+func (w *WireMsg) num(i int) int {
+	v, _ := strconv.Atoi(w.str(i))
+	return v
+}
+
+// CreateReq mirrors Figure 3.6's create request body: filename,
+// parameter count + list, filter port, filter host, meter flags,
+// control port, control host — plus the requesting uid and an optional
+// stdin file (section 3.5.2's input redirection).
+type CreateReq struct {
+	Filename    string
+	Params      []string
+	FilterPort  uint16
+	FilterHost  string
+	MeterFlags  uint32
+	ControlPort uint16
+	ControlHost string
+	UID         int
+	StdinFile   string
+}
+
+// Wire encodes the request.
+func (r *CreateReq) Wire() *WireMsg {
+	fields := []string{
+		r.Filename,
+		strconv.Itoa(len(r.Params)),
+	}
+	fields = append(fields, r.Params...)
+	fields = append(fields,
+		strconv.Itoa(int(r.FilterPort)),
+		r.FilterHost,
+		strconv.FormatUint(uint64(r.MeterFlags), 10),
+		strconv.Itoa(int(r.ControlPort)),
+		r.ControlHost,
+		strconv.Itoa(r.UID),
+		r.StdinFile,
+	)
+	return &WireMsg{Type: TCreateReq, Fields: fields}
+}
+
+// ParseCreateReq decodes a create request body.
+func ParseCreateReq(w *WireMsg) (*CreateReq, error) {
+	if w.Type != TCreateReq {
+		return nil, fmt.Errorf("%w: not a create request", ErrWireCorrupt)
+	}
+	n := w.num(1)
+	if n < 0 || 2+n+7 > len(w.Fields) {
+		return nil, fmt.Errorf("%w: bad parameter count", ErrWireCorrupt)
+	}
+	r := &CreateReq{Filename: w.str(0)}
+	r.Params = append(r.Params, w.Fields[2:2+n]...)
+	base := 2 + n
+	r.FilterPort = uint16(w.num(base))
+	r.FilterHost = w.str(base + 1)
+	flags, _ := strconv.ParseUint(w.str(base+2), 10, 32)
+	r.MeterFlags = uint32(flags)
+	r.ControlPort = uint16(w.num(base + 3))
+	r.ControlHost = w.str(base + 4)
+	r.UID = w.num(base + 5)
+	r.StdinFile = w.str(base + 6)
+	return r, nil
+}
+
+// Reply is the common reply shape: Figure 3.6's create reply carries
+// pid and status; the other replies carry a status and, for getfile,
+// the file contents.
+type Reply struct {
+	Type   MsgType
+	PID    int
+	Status string // "ok" or an error description
+	Data   string // getfile contents
+}
+
+// OK reports whether the reply indicates success.
+func (r *Reply) OK() bool { return r.Status == "ok" }
+
+// Wire encodes the reply.
+func (r *Reply) Wire() *WireMsg {
+	return &WireMsg{Type: r.Type, Fields: []string{strconv.Itoa(r.PID), r.Status, r.Data}}
+}
+
+// ParseReply decodes any reply-shaped message.
+func ParseReply(w *WireMsg) *Reply {
+	return &Reply{Type: w.Type, PID: w.num(0), Status: w.str(1), Data: w.str(2)}
+}
+
+// ProcReq is the common request shape for setflags, start, stop, kill,
+// acquire, and getfile: a target (pid or path), the requesting uid,
+// and for setflags/acquire the flags and filter coordinates.
+type ProcReq struct {
+	Type       MsgType
+	PID        int
+	UID        int
+	Flags      uint32
+	FilterPort uint16
+	FilterHost string
+	Path       string // getfile
+}
+
+// Wire encodes the request.
+func (r *ProcReq) Wire() *WireMsg {
+	return &WireMsg{Type: r.Type, Fields: []string{
+		strconv.Itoa(r.PID),
+		strconv.Itoa(r.UID),
+		strconv.FormatUint(uint64(r.Flags), 10),
+		strconv.Itoa(int(r.FilterPort)),
+		r.FilterHost,
+		r.Path,
+	}}
+}
+
+// ParseProcReq decodes a process-targeted request.
+func ParseProcReq(w *WireMsg) *ProcReq {
+	flags, _ := strconv.ParseUint(w.str(2), 10, 32)
+	return &ProcReq{
+		Type:       w.Type,
+		PID:        w.num(0),
+		UID:        w.num(1),
+		Flags:      uint32(flags),
+		FilterPort: uint16(w.num(3)),
+		FilterHost: w.str(4),
+		Path:       w.str(5),
+	}
+}
+
+// StateChange is the daemon-initiated notification that a process has
+// terminated (or otherwise changed state).
+type StateChange struct {
+	Machine string
+	PID     int
+	Reason  string
+	Status  int
+}
+
+// Wire encodes the notification.
+func (s *StateChange) Wire() *WireMsg {
+	return &WireMsg{Type: TStateChange, Fields: []string{
+		s.Machine, strconv.Itoa(s.PID), s.Reason, strconv.Itoa(s.Status),
+	}}
+}
+
+// ParseStateChange decodes a state change notification.
+func ParseStateChange(w *WireMsg) *StateChange {
+	return &StateChange{Machine: w.str(0), PID: w.num(1), Reason: w.str(2), Status: w.num(3)}
+}
+
+// IOData is a chunk of a process's standard output forwarded to the
+// controller.
+type IOData struct {
+	Machine string
+	PID     int
+	Data    string
+}
+
+// Wire encodes the chunk.
+func (d *IOData) Wire() *WireMsg {
+	return &WireMsg{Type: TIOData, Fields: []string{d.Machine, strconv.Itoa(d.PID), d.Data}}
+}
+
+// ParseIOData decodes a forwarded output chunk.
+func ParseIOData(w *WireMsg) *IOData {
+	return &IOData{Machine: w.str(0), PID: w.num(1), Data: w.str(2)}
+}

@@ -1,0 +1,162 @@
+package daemon
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFigure36TypeCodes(t *testing.T) {
+	// Figure 3.6 shows "11: create request" and "18: create reply".
+	if TCreateReq != 11 {
+		t.Errorf("TCreateReq = %d, want 11", TCreateReq)
+	}
+	if TCreateRep != 18 {
+		t.Errorf("TCreateRep = %d, want 18", TCreateRep)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	w := &WireMsg{Type: TCreateReq, Fields: []string{"a", "", "third field with spaces"}}
+	enc := w.Encode()
+	got, n, err := DecodeWire(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d", n, len(enc))
+	}
+	if !reflect.DeepEqual(got, w) {
+		t.Fatalf("round trip: %+v != %+v", got, w)
+	}
+}
+
+func TestWireShort(t *testing.T) {
+	w := &WireMsg{Type: TStartReq, Fields: []string{"123"}}
+	enc := w.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeWire(enc[:cut]); !errors.Is(err, ErrWireShort) {
+			t.Fatalf("cut %d: err = %v, want ErrWireShort", cut, err)
+		}
+	}
+}
+
+func TestWireCorrupt(t *testing.T) {
+	w := &WireMsg{Type: TStartReq, Fields: []string{"123"}}
+	enc := w.Encode()
+	enc[0] = 5 // size below minimum
+	enc[1], enc[2], enc[3] = 0, 0, 0
+	if _, _, err := DecodeWire(enc); !errors.Is(err, ErrWireCorrupt) {
+		t.Fatalf("err = %v, want ErrWireCorrupt", err)
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, fields []string) bool {
+		w := &WireMsg{Type: MsgType(typ), Fields: fields}
+		got, n, err := DecodeWire(w.Encode())
+		if err != nil || n != len(w.Encode()) {
+			return false
+		}
+		if len(fields) == 0 {
+			return len(got.Fields) == 0
+		}
+		return reflect.DeepEqual(got.Fields, fields)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateReqRoundTrip(t *testing.T) {
+	req := &CreateReq{
+		Filename:    "/bin/worker",
+		Params:      []string{"p1", "p2", "p3"},
+		FilterPort:  9000,
+		FilterHost:  "blue",
+		MeterFlags:  0x2ff,
+		ControlPort: 7700,
+		ControlHost: "yellow",
+		UID:         100,
+		StdinFile:   "/tmp/in",
+	}
+	got, err := ParseCreateReq(req.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, req)
+	}
+}
+
+func TestCreateReqNoParams(t *testing.T) {
+	req := &CreateReq{Filename: "/bin/x", UID: 1}
+	got, err := ParseCreateReq(req.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Filename != "/bin/x" || len(got.Params) != 0 || got.UID != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParseCreateReqWrongType(t *testing.T) {
+	if _, err := ParseCreateReq(&WireMsg{Type: TStartReq}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+}
+
+func TestParseCreateReqTruncated(t *testing.T) {
+	w := &WireMsg{Type: TCreateReq, Fields: []string{"/bin/x", "5", "only-one-param"}}
+	if _, err := ParseCreateReq(w); err == nil {
+		t.Fatal("truncated parameter list accepted")
+	}
+}
+
+func TestProcReqRoundTrip(t *testing.T) {
+	req := &ProcReq{Type: TAcquireReq, PID: 42, UID: 7, Flags: 0x1ff, FilterPort: 900, FilterHost: "blue", Path: "/usr/tmp/f1.log"}
+	got := ParseProcReq(req.Wire())
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, req)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	rep := &Reply{Type: TGetFileRep, PID: 9, Status: "ok", Data: "file contents\nline 2"}
+	got := ParseReply(rep.Wire())
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("round trip: %+v != %+v", got, rep)
+	}
+	if !rep.OK() {
+		t.Fatal("OK() = false for ok reply")
+	}
+	if (&Reply{Status: "nope"}).OK() {
+		t.Fatal("OK() = true for failed reply")
+	}
+}
+
+func TestStateChangeRoundTrip(t *testing.T) {
+	sc := &StateChange{Machine: "red", PID: 2120, Reason: "normal", Status: 0}
+	got := ParseStateChange(sc.Wire())
+	if !reflect.DeepEqual(got, sc) {
+		t.Fatalf("round trip: %+v != %+v", got, sc)
+	}
+}
+
+func TestIODataRoundTrip(t *testing.T) {
+	d := &IOData{Machine: "green", PID: 5, Data: "output line\n"}
+	got := ParseIOData(d.Wire())
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip: %+v != %+v", got, d)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	if TCreateReq.String() != "create request" || TCreateRep.String() != "create reply" {
+		t.Fatal("figure 3.6 names wrong")
+	}
+	if MsgType(99).String() != "type(99)" {
+		t.Fatalf("unknown = %q", MsgType(99).String())
+	}
+}

@@ -1,0 +1,216 @@
+package filter
+
+import (
+	"fmt"
+	"strconv"
+
+	"dpm/internal/fsys"
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+)
+
+// LogPath returns the log file a filter of the given name writes, in
+// the /usr/tmp directory the paper specifies (section 3.4).
+func LogPath(name string) string { return "/usr/tmp/" + name + ".log" }
+
+// DefaultDescriptionsPath and DefaultTemplatesPath are the standard
+// file names the controller falls back to ("standard filenames
+// ('templates' and 'descriptions') are used", section 4.3).
+const (
+	DefaultDescriptionsPath = "/etc/meter/descriptions"
+	DefaultTemplatesPath    = "/etc/meter/templates"
+)
+
+// Engine is the reusable selection/reduction core of a filter: framing
+// of the meter byte stream, record extraction via descriptions, and
+// rule evaluation. The standard filter drives it from a socket loop;
+// custom filters (section 3.4 allows them, "given a few basic
+// constraints") can drive it from anything that yields meter bytes.
+type Engine struct {
+	desc  *Descriptions
+	rules Rules
+
+	// Stats counts the engine's record traffic.
+	Received  int
+	Kept      int
+	Discarded int
+}
+
+// NewEngine builds an engine from descriptions and templates file
+// contents. Empty templates select everything.
+func NewEngine(descData, tmplData []byte) (*Engine, error) {
+	d, err := ParseDescriptions(descData)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ParseRules(tmplData)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{desc: d, rules: r}, nil
+}
+
+// Process consumes raw meter-stream bytes carried over from previous
+// calls plus the new data, and returns the formatted log lines of the
+// records that survive selection, together with the unconsumed tail.
+func (e *Engine) Process(buf []byte) (lines []string, rest []byte, err error) {
+	for {
+		if len(buf) < meter.HeaderSize {
+			return lines, buf, nil
+		}
+		size := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+		if size < meter.HeaderSize || size > meter.MaxMsgSize {
+			return lines, buf, fmt.Errorf("filter: corrupt size field %d", size)
+		}
+		if len(buf) < size {
+			return lines, buf, nil
+		}
+		rec, err := e.desc.Extract(buf[:size])
+		if err != nil {
+			return lines, buf, err
+		}
+		buf = buf[size:]
+		e.Received++
+		keep, discards := e.rules.Select(rec)
+		if !keep {
+			e.Discarded++
+			continue
+		}
+		e.Kept++
+		lines = append(lines, rec.Format(discards))
+	}
+}
+
+// Main is the standard filter program. Its arguments are
+//
+//	args[0] filter name (determines the log file)
+//	args[1] listen port
+//	args[2] descriptions file path (optional; default standard file)
+//	args[3] templates file path (optional; default standard file)
+//
+// It binds a stream socket, accepts one meter connection per metered
+// process creation, applies selection, and appends surviving records
+// to its log file. It runs until killed; "The events detected and
+// logged by the filter process are not seen by the user as they occur"
+// (section 3.4) — the user retrieves the log afterwards with getlog.
+func Main(p *kernel.Process) int {
+	args := p.Args()
+	if len(args) < 2 {
+		p.Printf("filter: usage: name port [descriptions [templates]]\n")
+		return 1
+	}
+	name := args[0]
+	port64, err := strconv.ParseUint(args[1], 10, 16)
+	if err != nil {
+		p.Printf("filter: bad port %q\n", args[1])
+		return 1
+	}
+	descPath, tmplPath := DefaultDescriptionsPath, DefaultTemplatesPath
+	if len(args) > 2 && args[2] != "" {
+		descPath = args[2]
+	}
+	if len(args) > 3 && args[3] != "" {
+		tmplPath = args[3]
+	}
+
+	descData, err := p.ReadFile(descPath)
+	if err != nil {
+		p.Printf("filter: %v\n", err)
+		return 1
+	}
+	// A missing templates file means no selection: keep everything.
+	tmplData, err := p.ReadFile(tmplPath)
+	if err != nil {
+		tmplData = nil
+	}
+	eng, err := NewEngine(descData, tmplData)
+	if err != nil {
+		p.Printf("filter: %v\n", err)
+		return 1
+	}
+
+	lfd, err := p.Socket(meter.AFInet, kernel.SockStream)
+	if err != nil {
+		p.Printf("filter: %v\n", err)
+		return 1
+	}
+	if err := p.BindPort(lfd, uint16(port64)); err != nil {
+		p.Printf("filter: %v\n", err)
+		return 1
+	}
+	if err := p.Listen(lfd, 32); err != nil {
+		p.Printf("filter: %v\n", err)
+		return 1
+	}
+
+	logPath := LogPath(name)
+	conns := make(map[int][]byte) // meter connection fd -> partial frame
+	for {
+		fds := make([]int, 0, len(conns)+1)
+		fds = append(fds, lfd)
+		for fd := range conns {
+			fds = append(fds, fd)
+		}
+		ready, err := p.Select(fds)
+		if err != nil {
+			return 0 // killed: normal filter shutdown
+		}
+		for _, fd := range ready {
+			if fd == lfd {
+				nfd, _, err := p.Accept(lfd)
+				if err != nil {
+					return 0
+				}
+				conns[nfd] = nil
+				continue
+			}
+			data, err := p.Recv(fd, 8192)
+			if err != nil {
+				// EOF or error: the metered process (and every holder
+				// of its meter socket) is gone.
+				_ = p.Close(fd)
+				delete(conns, fd)
+				continue
+			}
+			buf := append(conns[fd], data...)
+			lines, rest, err := eng.Process(buf)
+			if err != nil {
+				p.Printf("filter: %v\n", err)
+				_ = p.Close(fd)
+				delete(conns, fd)
+				continue
+			}
+			conns[fd] = rest
+			if len(lines) > 0 {
+				var out []byte
+				for _, l := range lines {
+					out = append(out, l...)
+					out = append(out, '\n')
+				}
+				if err := p.AppendFile(logPath, out); err != nil {
+					p.Printf("filter: log append: %v\n", err)
+				}
+			}
+		}
+	}
+}
+
+// ProgramName is the registry name of the standard filter program; the
+// default filter executable file refers to it.
+const ProgramName = "dpm-filter"
+
+// Install registers the standard filter program with a cluster and
+// writes the standard descriptions and (empty) templates files plus
+// the default filter executable onto a machine. uid owns the files.
+func Install(c *kernel.Cluster, m *kernel.Machine, uid int) error {
+	c.RegisterProgram(ProgramName, Main)
+	if err := m.FS().Create(DefaultDescriptionsPath, uid, fsys.DefaultMode, []byte(StandardDescriptions)); err != nil {
+		return err
+	}
+	if !m.FS().Exists(DefaultTemplatesPath) {
+		if err := m.FS().Create(DefaultTemplatesPath, uid, fsys.DefaultMode, nil); err != nil {
+			return err
+		}
+	}
+	return m.FS().CreateExecutable("/bin/filter", uid, ProgramName)
+}

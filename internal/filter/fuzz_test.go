@@ -1,0 +1,59 @@
+package filter
+
+import (
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+// FuzzParseRules checks the selection-rule parser never panics and
+// that accepted rule sets evaluate without panicking.
+func FuzzParseRules(f *testing.F) {
+	f.Add("machine=5, cpuTime<10000\n")
+	f.Add("machine=#*, type=1, pid=#*, msgLength>=512\ntype=8, sockName=peerName\n")
+	f.Add("a!=b, c>=#3")
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, err := ParseRules([]byte(text))
+		if err != nil {
+			return
+		}
+		rec := sendRec(1, 2, 3, 4, 5, meter.Name{})
+		keep, discards := rules.Select(rec)
+		_ = keep
+		_ = discards
+	})
+}
+
+// FuzzParseDescriptions checks the descriptions parser on arbitrary
+// input, and that accepted descriptions extract from arbitrary bytes
+// without panicking.
+func FuzzParseDescriptions(f *testing.F) {
+	f.Add(StandardDescriptions, []byte{})
+	f.Fuzz(func(t *testing.T, text string, raw []byte) {
+		d, err := ParseDescriptions([]byte(text))
+		if err != nil {
+			return
+		}
+		_, _ = d.Extract(raw)
+	})
+}
+
+// FuzzEngineProcess drives the whole filter engine on arbitrary meter
+// streams.
+func FuzzEngineProcess(f *testing.F) {
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		eng, err := NewEngine([]byte(StandardDescriptions), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines, rest, err := eng.Process(stream)
+		if err != nil {
+			return
+		}
+		_ = lines
+		if len(rest) > len(stream) {
+			t.Fatal("rest grew")
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package filter
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dpm/internal/meter"
+)
+
+// TestRulesMatchReferenceProperty cross-checks the rule evaluator
+// against a naive reference over randomly generated rule sets and
+// records.
+func TestRulesMatchReferenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	fields := []string{"machine", "cpuTime", "type", "pid", "sock", "msgLength"}
+	ops := []string{"=", "!=", ">", "<", ">=", "<="}
+
+	type cond struct {
+		field string
+		op    string
+		val   uint64
+	}
+	genRules := func() ([][]cond, string) {
+		nRules := rng.Intn(3) + 1
+		var rules [][]cond
+		var lines []string
+		for r := 0; r < nRules; r++ {
+			nConds := rng.Intn(3) + 1
+			var rule []cond
+			var parts []string
+			for c := 0; c < nConds; c++ {
+				cc := cond{
+					field: fields[rng.Intn(len(fields))],
+					op:    ops[rng.Intn(len(ops))],
+					val:   uint64(rng.Intn(8)),
+				}
+				rule = append(rule, cc)
+				parts = append(parts, fmt.Sprintf("%s%s%d", cc.field, cc.op, cc.val))
+			}
+			rules = append(rules, rule)
+			lines = append(lines, strings.Join(parts, ", "))
+		}
+		return rules, strings.Join(lines, "\n") + "\n"
+	}
+
+	evalCond := func(c cond, rec *Record) bool {
+		v, ok := rec.Field(c.field)
+		if !ok {
+			return false
+		}
+		switch c.op {
+		case "=":
+			return v == c.val
+		case "!=":
+			return v != c.val
+		case ">":
+			return v > c.val
+		case "<":
+			return v < c.val
+		case ">=":
+			return v >= c.val
+		case "<=":
+			return v <= c.val
+		}
+		return false
+	}
+
+	f := func(machine, cpu, pid, sock, length uint8) bool {
+		ref, text := genRules()
+		rs, err := ParseRules([]byte(text))
+		if err != nil {
+			return false
+		}
+		rec := sendRec(uint16(machine%8), uint32(cpu%8), uint32(pid%8), uint32(sock%8), uint32(length%8), meter.Name{})
+		want := false
+		for _, rule := range ref {
+			all := true
+			for _, c := range rule {
+				if !evalCond(c, rec) {
+					all = false
+					break
+				}
+			}
+			if all {
+				want = true
+				break
+			}
+		}
+		got, _ := rs.Select(rec)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseRulesRoundTripProperty: formatting a parsed rule set and
+// re-parsing it yields identical selection behavior.
+func TestParseRulesStability(t *testing.T) {
+	text := "machine=5, cpuTime<10000\ntype=1, msgLength>=512\ntype=8, sockName=peerName\n"
+	rs1, err := ParseRules([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := ParseRules([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*Record{
+		sendRec(5, 500, 1, 1, 1, meter.Name{}),
+		sendRec(0, 0, 1, 1, 600, meter.Name{}),
+		acceptRec(meter.UnixName("/a"), meter.UnixName("/a")),
+		acceptRec(meter.UnixName("/a"), meter.UnixName("/b")),
+		sendRec(9, 99999, 1, 1, 1, meter.Name{}),
+	}
+	for i, rec := range recs {
+		k1, _ := rs1.Select(rec)
+		k2, _ := rs2.Select(rec)
+		if k1 != k2 {
+			t.Fatalf("record %d: inconsistent selection", i)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package filter
+
+import (
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+// rec builds a Record for rule tests.
+func sendRec(machine uint16, cpu uint32, pid, sock, size uint32, dest meter.Name) *Record {
+	d := &Descriptions{}
+	_ = d
+	destVal := uint64(0)
+	if dest.Family() == meter.AFInet {
+		h, _ := dest.Inet()
+		destVal = uint64(h)
+	}
+	return &Record{
+		Event: "SEND", Type: meter.EvSend, Machine: machine, CPUTime: cpu,
+		Fields: []RecordField{
+			{Name: "pid", Value: uint64(pid)},
+			{Name: "pc", Value: 4},
+			{Name: "sock", Value: uint64(sock)},
+			{Name: "msgLength", Value: uint64(size)},
+			{Name: "destNameLen", Value: 16},
+			{Name: "destName", IsName: true, Addr: dest, Value: destVal},
+		},
+	}
+}
+
+func acceptRec(sockName, peerName meter.Name) *Record {
+	return &Record{
+		Event: "ACCEPT", Type: meter.EvAccept, Machine: 0,
+		Fields: []RecordField{
+			{Name: "pid", Value: 1},
+			{Name: "pc", Value: 2},
+			{Name: "sock", Value: 3},
+			{Name: "newSock", Value: 4},
+			{Name: "sockName", IsName: true, Addr: sockName},
+			{Name: "peerName", IsName: true, Addr: peerName},
+		},
+	}
+}
+
+func mustRules(t *testing.T, text string) Rules {
+	t.Helper()
+	rs, err := ParseRules([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestFigure33FirstRule(t *testing.T) {
+	// "machine=5, cpuTime<10000" matches any event records received
+	// from machine 5 time stamped with a cpuTime under 10000 ms.
+	rs := mustRules(t, "machine=5, cpuTime<10000\n")
+	if keep, _ := rs.Select(sendRec(5, 9999, 1, 1, 1, meter.Name{})); !keep {
+		t.Fatal("matching record rejected")
+	}
+	if keep, _ := rs.Select(sendRec(5, 10000, 1, 1, 1, meter.Name{})); keep {
+		t.Fatal("cpuTime=10000 accepted by <10000")
+	}
+	if keep, _ := rs.Select(sendRec(4, 1, 1, 1, 1, meter.Name{})); keep {
+		t.Fatal("wrong machine accepted")
+	}
+}
+
+func TestFigure33SecondRule(t *testing.T) {
+	// "machine=0, type=1, sock=4, destName=228320140" specifically
+	// matches a send event on machine 0, socket 4, to that host.
+	rs := mustRules(t, "machine=0, type=1, sock=4, destName=228320140\n")
+	dest := meter.InetName(228320140, 21)
+	if keep, _ := rs.Select(sendRec(0, 5, 9, 4, 100, dest)); !keep {
+		t.Fatal("matching send rejected")
+	}
+	other := meter.InetName(12345, 21)
+	if keep, _ := rs.Select(sendRec(0, 5, 9, 4, 100, other)); keep {
+		t.Fatal("send to other destination accepted")
+	}
+	if keep, _ := rs.Select(sendRec(0, 5, 9, 5, 100, dest)); keep {
+		t.Fatal("send on other socket accepted")
+	}
+}
+
+func TestFigure34WildcardAndDiscard(t *testing.T) {
+	// "machine=#*, type=1, pid=#*, size>=512": match any machine and
+	// pid (discarding both fields) but only sends of at least 512
+	// bytes. Our records call the length field msgLength.
+	rs := mustRules(t, "machine=#*, type=1, pid=#*, msgLength>=512\n")
+	keep, discards := rs.Select(sendRec(3, 1, 77, 1, 512, meter.Name{}))
+	if !keep {
+		t.Fatal("matching record rejected")
+	}
+	if !discards["machine"] || !discards["pid"] {
+		t.Fatalf("discards = %v, want machine and pid", discards)
+	}
+	if keep, _ := rs.Select(sendRec(3, 1, 77, 1, 511, meter.Name{})); keep {
+		t.Fatal("undersized send accepted")
+	}
+}
+
+func TestFigure34FieldToField(t *testing.T) {
+	// "type=8, sockName=peerName": accepts whose two names coincide.
+	rs := mustRules(t, "type=8, sockName=peerName\n")
+	same := meter.UnixName("/tmp/x")
+	if keep, _ := rs.Select(acceptRec(same, same)); !keep {
+		t.Fatal("equal names rejected")
+	}
+	if keep, _ := rs.Select(acceptRec(same, meter.UnixName("/tmp/y"))); keep {
+		t.Fatal("different names accepted")
+	}
+}
+
+func TestFieldToFieldInequality(t *testing.T) {
+	rs := mustRules(t, "type=8, sockName!=peerName\n")
+	a, b := meter.UnixName("/tmp/x"), meter.UnixName("/tmp/y")
+	if keep, _ := rs.Select(acceptRec(a, b)); !keep {
+		t.Fatal("different names rejected by !=")
+	}
+	if keep, _ := rs.Select(acceptRec(a, a)); keep {
+		t.Fatal("equal names accepted by !=")
+	}
+}
+
+func TestScalarFieldToField(t *testing.T) {
+	rs := mustRules(t, "sock=newSock\n")
+	r := acceptRec(meter.Name{}, meter.Name{})
+	if keep, _ := rs.Select(r); keep {
+		t.Fatal("sock=3 newSock=4 accepted by sock=newSock")
+	}
+	r.Fields[3].Value = 3
+	if keep, _ := rs.Select(r); !keep {
+		t.Fatal("equal scalar fields rejected")
+	}
+}
+
+func TestRulesAreAlternatives(t *testing.T) {
+	rs := mustRules(t, "machine=1\nmachine=2\n")
+	if keep, _ := rs.Select(sendRec(1, 0, 1, 1, 1, meter.Name{})); !keep {
+		t.Fatal("first alternative rejected")
+	}
+	if keep, _ := rs.Select(sendRec(2, 0, 1, 1, 1, meter.Name{})); !keep {
+		t.Fatal("second alternative rejected")
+	}
+	if keep, _ := rs.Select(sendRec(3, 0, 1, 1, 1, meter.Name{})); keep {
+		t.Fatal("unmatched record accepted")
+	}
+}
+
+func TestEmptyRulesKeepEverything(t *testing.T) {
+	rs := mustRules(t, "\n# comment only\n")
+	if keep, _ := rs.Select(sendRec(9, 9, 9, 9, 9, meter.Name{})); !keep {
+		t.Fatal("empty templates must select everything")
+	}
+}
+
+func TestAllOperators(t *testing.T) {
+	rec := sendRec(5, 100, 1, 1, 1, meter.Name{})
+	cases := map[string]bool{
+		"cpuTime=100\n":  true,
+		"cpuTime=99\n":   false,
+		"cpuTime!=99\n":  true,
+		"cpuTime!=100\n": false,
+		"cpuTime>99\n":   true,
+		"cpuTime>100\n":  false,
+		"cpuTime<101\n":  true,
+		"cpuTime<100\n":  false,
+		"cpuTime>=100\n": true,
+		"cpuTime>=101\n": false,
+		"cpuTime<=100\n": true,
+		"cpuTime<=99\n":  false,
+	}
+	for text, want := range cases {
+		rs := mustRules(t, text)
+		if keep, _ := rs.Select(rec); keep != want {
+			t.Errorf("%q: keep = %v, want %v", text, keep, want)
+		}
+	}
+}
+
+func TestWildcardRequiresFieldPresence(t *testing.T) {
+	rs := mustRules(t, "newPid=*\n")
+	if keep, _ := rs.Select(sendRec(1, 1, 1, 1, 1, meter.Name{})); keep {
+		t.Fatal("wildcard matched a record lacking the field")
+	}
+}
+
+func TestMissingFieldFailsCondition(t *testing.T) {
+	rs := mustRules(t, "newPid=7\n")
+	if keep, _ := rs.Select(sendRec(1, 1, 1, 1, 1, meter.Name{})); keep {
+		t.Fatal("condition on missing field matched")
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	for _, text := range []string{"machine\n", "machine=%\n", "=5\n"} {
+		if _, err := ParseRules([]byte(text)); err == nil {
+			t.Errorf("ParseRules(%q) succeeded", text)
+		}
+	}
+}
+
+func TestDiscardWithValueCondition(t *testing.T) {
+	// A '#'-prefixed literal both conditions and discards: "pid=#7"
+	// matches pid 7 and drops the field on acceptance.
+	rs := mustRules(t, "pid=#7\n")
+	keep, discards := rs.Select(sendRec(1, 1, 7, 1, 1, meter.Name{}))
+	if !keep || !discards["pid"] {
+		t.Fatalf("keep=%v discards=%v", keep, discards)
+	}
+	if keep, _ := rs.Select(sendRec(1, 1, 8, 1, 1, meter.Name{})); keep {
+		t.Fatal("pid=#7 matched pid 8")
+	}
+}

@@ -1,0 +1,270 @@
+package fsys
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	alice = 101
+	bob   = 102
+)
+
+func TestCreateAndRead(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/a", alice, DefaultMode, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.Read("/a", alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte("hello")) {
+		t.Fatalf("Read = %q, want hello", data)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New()
+	if _, err := fs.Read("/missing", alice); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestBadPath(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"", "relative", "no/slash"} {
+		if err := fs.Create(p, alice, DefaultMode, nil); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Create(%q) err = %v, want ErrBadPath", p, err)
+		}
+	}
+}
+
+func TestWorldReadable(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/pub", alice, DefaultMode, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("/pub", bob); err != nil {
+		t.Fatalf("world-readable file not readable by other user: %v", err)
+	}
+}
+
+func TestPrivateNotReadableByOthers(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/priv", alice, PrivateMode, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("/priv", bob); !errors.Is(err, ErrPerm) {
+		t.Fatalf("err = %v, want ErrPerm", err)
+	}
+}
+
+func TestSuperuserBypassesPermissions(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/priv", alice, PrivateMode, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("/priv", Superuser); err != nil {
+		t.Fatalf("superuser read failed: %v", err)
+	}
+	if err := fs.Remove("/priv", Superuser); err != nil {
+		t.Fatalf("superuser remove failed: %v", err)
+	}
+}
+
+func TestOverwriteRequiresWritePermission(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/f", alice, PrivateMode, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/f", bob, DefaultMode, []byte("y")); !errors.Is(err, ErrPerm) {
+		t.Fatalf("err = %v, want ErrPerm", err)
+	}
+}
+
+func TestAppendCreatesWithPrivateMode(t *testing.T) {
+	fs := New()
+	if err := fs.Append("/usr/tmp/log1", alice, []byte("rec1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append("/usr/tmp/log1", alice, []byte("rec2\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.Read("/usr/tmp/log1", alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "rec1\nrec2\n" {
+		t.Fatalf("log contents = %q", data)
+	}
+	if _, err := fs.Read("/usr/tmp/log1", bob); !errors.Is(err, ErrPerm) {
+		t.Fatalf("trace log readable by other user: %v", err)
+	}
+}
+
+func TestAppendDeniedWithoutWrite(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/f", alice, PrivateMode, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append("/f", bob, []byte("x")); !errors.Is(err, ErrPerm) {
+		t.Fatalf("err = %v, want ErrPerm", err)
+	}
+}
+
+func TestExecutable(t *testing.T) {
+	fs := New()
+	if err := fs.CreateExecutable("/bin/worker", alice, "worker-v1"); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := fs.Executable("/bin/worker", bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog != "worker-v1" {
+		t.Fatalf("Executable = %q, want worker-v1", prog)
+	}
+}
+
+func TestExecutableOnDataFile(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/data", alice, DefaultMode, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Executable("/data", alice); !errors.Is(err, ErrNotExec) {
+		t.Fatalf("err = %v, want ErrNotExec", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/f", alice, DefaultMode, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/f", alice); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/f") {
+		t.Fatal("file still exists after Remove")
+	}
+	if err := fs.Remove("/f", alice); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"/usr/tmp/b", "/usr/tmp/a", "/etc/x"} {
+		if err := fs.Create(p, alice, DefaultMode, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.List("/usr/tmp/")
+	if len(got) != 2 || got[0] != "/usr/tmp/a" || got[1] != "/usr/tmp/b" {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestCopyDataFile(t *testing.T) {
+	src, dst := New(), New()
+	if err := src.Create("/f", alice, DefaultMode, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(src, "/f", dst, "/f", bob); err != nil {
+		t.Fatal(err)
+	}
+	data, err := dst.Read("/f", bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "payload" {
+		t.Fatalf("copied data = %q", data)
+	}
+}
+
+func TestCopyExecutableCarriesProgram(t *testing.T) {
+	// rcp of an executable must leave it runnable on the remote
+	// machine (paper section 3.5.3).
+	src, dst := New(), New()
+	if err := src.CreateExecutable("/bin/p", alice, "prog"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(src, "/bin/p", dst, "/bin/p", alice); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := dst.Executable("/bin/p", alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog != "prog" {
+		t.Fatalf("program = %q, want prog", prog)
+	}
+}
+
+func TestCopyDeniedWithoutReadAccess(t *testing.T) {
+	src, dst := New(), New()
+	if err := src.Create("/priv", alice, PrivateMode, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(src, "/priv", dst, "/priv", bob); !errors.Is(err, ErrPerm) {
+		t.Fatalf("err = %v, want ErrPerm", err)
+	}
+}
+
+func TestCopyMissingSource(t *testing.T) {
+	src, dst := New(), New()
+	if err := Copy(src, "/nope", dst, "/nope", alice); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/f", alice, DefaultMode, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.Read("/f", alice)
+	data[0] = 'X'
+	again, _ := fs.Read("/f", alice)
+	if string(again) != "abc" {
+		t.Fatal("Read exposed internal buffer")
+	}
+}
+
+func TestCreateReadRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		fs := New()
+		if err := fs.Create("/f", alice, DefaultMode, data); err != nil {
+			return false
+		}
+		got, err := fs.Read("/f", alice)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendOrderPreserved(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		fs := New()
+		var want []byte
+		for _, c := range chunks {
+			if err := fs.Append("/log", alice, c); err != nil {
+				return false
+			}
+			want = append(want, c...)
+		}
+		if len(chunks) == 0 {
+			return true
+		}
+		got, err := fs.Read("/log", alice)
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

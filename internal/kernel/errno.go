@@ -1,0 +1,26 @@
+package kernel
+
+import "errors"
+
+// Errno-style errors, named after the 4.2BSD error values the paper's
+// system would have returned (the setmeter(2) man page of Appendix C
+// documents EPERM and ESRCH explicitly).
+var (
+	ErrPerm        = errors.New("kernel: operation not permitted (EPERM)")
+	ErrSearch      = errors.New("kernel: no such process (ESRCH)")
+	ErrBadFD       = errors.New("kernel: bad file descriptor (EBADF)")
+	ErrNotSocket   = errors.New("kernel: not a socket (ENOTSOCK)")
+	ErrInval       = errors.New("kernel: invalid argument (EINVAL)")
+	ErrAddrInUse   = errors.New("kernel: address already in use (EADDRINUSE)")
+	ErrConnRefused = errors.New("kernel: connection refused (ECONNREFUSED)")
+	ErrNotConn     = errors.New("kernel: socket is not connected (ENOTCONN)")
+	ErrIsConn      = errors.New("kernel: socket is already connected (EISCONN)")
+	ErrPipe        = errors.New("kernel: broken pipe (EPIPE)")
+	ErrHostUnreach = errors.New("kernel: no route to host (EHOSTUNREACH)")
+	ErrOpNotSupp   = errors.New("kernel: operation not supported on socket (EOPNOTSUPP)")
+	ErrNoAccount   = errors.New("kernel: user has no account on this machine")
+	ErrKilled      = errors.New("kernel: process killed")
+	ErrExited      = errors.New("kernel: process has exited")
+	ErrMsgSize     = errors.New("kernel: message too long (EMSGSIZE)")
+	ErrAfNoSupport = errors.New("kernel: address family not supported (EAFNOSUPPORT)")
+)

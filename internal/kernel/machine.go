@@ -1,0 +1,391 @@
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"dpm/internal/clock"
+	"dpm/internal/fsys"
+	"dpm/internal/meter"
+	"dpm/internal/netsim"
+)
+
+// portKey indexes the per-machine binding table: stream and datagram
+// ports are independent namespaces, as TCP and UDP ports are.
+type portKey struct {
+	typ  int
+	port uint16
+}
+
+// Machine is one simulated host: a CPU (its clock), memory (Go heap),
+// a resident kernel portion (these structures), and a file system.
+// Machines do not have access to each other's memories; everything
+// between them travels through sockets (paper section 1.2).
+type Machine struct {
+	name    string
+	id      uint16
+	cluster *Cluster
+	clock   *clock.MachineClock
+	fs      *fsys.FS
+
+	mu         sync.Mutex
+	procs      map[int]*Process
+	nextPID    int
+	accounts   map[int]string // uid -> user name
+	hostIDs    map[string]uint32
+	netOrder   []string // attachment order; the first is the primary address
+	ports      map[portKey]*Socket
+	unixSocks  map[string]*Socket
+	nextSockID uint32
+	nextPort   uint16
+	nextPairID uint32
+
+	wg *sync.WaitGroup // cluster-wide process goroutine tracking
+}
+
+// Name returns the machine's host name.
+func (m *Machine) Name() string { return m.name }
+
+// ID returns the small integer recorded in meter message headers.
+func (m *Machine) ID() uint16 { return m.id }
+
+// Clock returns the machine's local clock.
+func (m *Machine) Clock() *clock.MachineClock { return m.clock }
+
+// FS returns the machine's file system.
+func (m *Machine) FS() *fsys.FS { return m.fs }
+
+// Cluster returns the cluster the machine belongs to.
+func (m *Machine) Cluster() *Cluster { return m.cluster }
+
+// AddAccount gives uid an account on this machine. Per the paper's
+// protection policy, "To create a process on a machine, a user must
+// have an account on that machine" (section 3.5.5).
+func (m *Machine) AddAccount(uid int, user string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accounts[uid] = user
+}
+
+// HasAccount reports whether uid has an account here. The superuser
+// implicitly has one everywhere.
+func (m *Machine) HasAccount(uid int) bool {
+	if uid == fsys.Superuser {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.accounts[uid]
+	return ok
+}
+
+// PrimaryHostID returns the machine's address on its first-attached
+// network; socket names constructed on this machine use it.
+func (m *Machine) PrimaryHostID() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.netOrder) == 0 {
+		return 0
+	}
+	return m.hostIDs[m.netOrder[0]]
+}
+
+// hostIDOn returns the machine's address on the given network.
+func (m *Machine) hostIDOn(network string) (uint32, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hostIDs[network]
+	return h, ok
+}
+
+// SpawnSpec describes a process to create.
+type SpawnSpec struct {
+	UID  int
+	Name string
+	Args []string
+	// Exactly one of Program and Path is used: Program runs directly;
+	// Path names an executable file on this machine's file system.
+	Program Program
+	Path    string
+	// Suspended creates the process in the paper's "new" state: the
+	// execution environment is set up but the process is suspended
+	// prior to the execution of the first instruction (section 4.2).
+	// It begins running when it receives SIGCONT.
+	Suspended bool
+	// Stdio, when non-nil, is installed as descriptors 0, 1 and 2 —
+	// the daemon's per-process I/O gateway socket (section 3.5.2).
+	Stdio *Socket
+	// Stdout/Stdin attach plain streams instead, for processes run
+	// outside a daemon (tests and examples).
+	Stdout io.Writer
+	Stdin  io.Reader
+	// PPID records the creating process, if any.
+	PPID int
+}
+
+// Spawn creates a process. The account check implements the paper's
+// protection policy.
+func (m *Machine) Spawn(spec SpawnSpec) (*Process, error) {
+	if !m.HasAccount(spec.UID) {
+		return nil, fmt.Errorf("%w: uid %d on %s", ErrNoAccount, spec.UID, m.name)
+	}
+	prog := spec.Program
+	if prog == nil {
+		if spec.Path == "" {
+			return nil, fmt.Errorf("%w: no program or path", ErrInval)
+		}
+		progName, err := m.fs.Executable(spec.Path, spec.UID)
+		if err != nil {
+			return nil, err
+		}
+		prog = m.cluster.program(progName)
+		if prog == nil {
+			return nil, fmt.Errorf("%w: program %q not registered", ErrInval, progName)
+		}
+	}
+
+	p := m.newProcess(spec)
+	m.wg.Add(1)
+	go p.run(prog)
+	return p, nil
+}
+
+// SpawnDetached creates a process table entry with no goroutine; an
+// external driver (the controller object in this reproduction) issues
+// its system calls directly. It starts started.
+func (m *Machine) SpawnDetached(uid int, name string) (*Process, error) {
+	if !m.HasAccount(uid) {
+		return nil, fmt.Errorf("%w: uid %d on %s", ErrNoAccount, uid, m.name)
+	}
+	p := m.newProcess(SpawnSpec{UID: uid, Name: name})
+	p.detached = true
+	p.signal(SIGCONT)
+	return p, nil
+}
+
+func (m *Machine) newProcess(spec SpawnSpec) *Process {
+	m.mu.Lock()
+	m.nextPID++
+	pid := m.nextPID
+	m.mu.Unlock()
+
+	p := &Process{
+		machine: m,
+		pid:     pid,
+		ppid:    spec.PPID,
+		uid:     spec.UID,
+		name:    spec.Name,
+		args:    append([]string(nil), spec.Args...),
+		startCh: make(chan struct{}),
+		killCh:  make(chan struct{}),
+		exitCh:  make(chan struct{}),
+	}
+	p.sigCond = sync.NewCond(&p.sigMu)
+	switch {
+	case spec.Stdio != nil:
+		// The daemon's I/O gateway socket becomes descriptors 0–2; a
+		// separate Stdin (a file the daemon redirects, section 3.5.2)
+		// takes descriptor 0 when given.
+		if spec.Stdin != nil {
+			p.fds = append(p.fds, &fdEntry{r: spec.Stdin})
+		} else {
+			spec.Stdio.ref()
+			p.fds = append(p.fds, &fdEntry{sock: spec.Stdio})
+		}
+		for i := 0; i < 2; i++ {
+			spec.Stdio.ref()
+			p.fds = append(p.fds, &fdEntry{sock: spec.Stdio})
+		}
+	default:
+		p.fds = append(p.fds, &fdEntry{r: spec.Stdin}, &fdEntry{w: spec.Stdout}, &fdEntry{w: spec.Stdout})
+	}
+	if !spec.Suspended {
+		p.started = true
+		close(p.startCh)
+	}
+
+	m.mu.Lock()
+	m.procs[pid] = p
+	m.mu.Unlock()
+	return p
+}
+
+// Proc looks up a live process by pid.
+func (m *Machine) Proc(pid int) (*Process, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("%w: pid %d on %s", ErrSearch, pid, m.name)
+	}
+	return p, nil
+}
+
+// Procs returns the live processes on this machine.
+func (m *Machine) Procs() []*Process {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Process, 0, len(m.procs))
+	for _, p := range m.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (m *Machine) removeProc(pid int) {
+	m.mu.Lock()
+	delete(m.procs, pid)
+	m.mu.Unlock()
+}
+
+// Signal delivers a signal to a process.
+func (m *Machine) Signal(pid int, sig Signal) error {
+	p, err := m.Proc(pid)
+	if err != nil {
+		return err
+	}
+	p.signal(sig)
+	return nil
+}
+
+// newSocket allocates a socket with a machine-unique id.
+func (m *Machine) newSocket(domain uint16, typ int) *Socket {
+	m.mu.Lock()
+	m.nextSockID++
+	id := m.nextSockID
+	m.mu.Unlock()
+	return &Socket{
+		id:      id,
+		machine: m,
+		domain:  domain,
+		typ:     typ,
+		changed: make(chan struct{}),
+		refs:    1,
+	}
+}
+
+// allocPort hands out an ephemeral port.
+func (m *Machine) allocPort(typ int) uint16 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		m.nextPort++
+		if m.nextPort == 0 {
+			m.nextPort = ephemeralBase
+		}
+		if _, used := m.ports[portKey{typ, m.nextPort}]; !used {
+			return m.nextPort
+		}
+	}
+}
+
+const ephemeralBase = 1024
+
+// bindInet binds a socket to an Internet port (0 allocates one). The
+// socket name uses the machine's primary address.
+func (m *Machine) bindInet(s *Socket, port uint16) (meter.Name, error) {
+	if port == 0 {
+		port = m.allocPort(s.typ)
+	}
+	m.mu.Lock()
+	key := portKey{s.typ, port}
+	if _, used := m.ports[key]; used {
+		m.mu.Unlock()
+		return meter.Name{}, fmt.Errorf("%w: port %d", ErrAddrInUse, port)
+	}
+	m.ports[key] = s
+	m.mu.Unlock()
+
+	name := meter.InetName(m.PrimaryHostID(), port)
+	s.mu.Lock()
+	s.bound = true
+	s.boundName = name
+	s.port = port
+	s.mu.Unlock()
+	return name, nil
+}
+
+// bindUnix binds a socket to a UNIX-domain path.
+func (m *Machine) bindUnix(s *Socket, path string) (meter.Name, error) {
+	m.mu.Lock()
+	if _, used := m.unixSocks[path]; used {
+		m.mu.Unlock()
+		return meter.Name{}, fmt.Errorf("%w: %s", ErrAddrInUse, path)
+	}
+	m.unixSocks[path] = s
+	m.mu.Unlock()
+
+	name := meter.UnixName(path)
+	s.mu.Lock()
+	s.bound = true
+	s.boundName = name
+	s.path = path
+	s.mu.Unlock()
+	return name, nil
+}
+
+// unbindSocket removes a destroyed socket from the binding tables.
+func (m *Machine) unbindSocket(s *Socket) {
+	s.mu.Lock()
+	bound, typ, port, path := s.bound, s.typ, s.port, s.path
+	s.mu.Unlock()
+	if !bound {
+		return
+	}
+	m.mu.Lock()
+	if port != 0 && m.ports[portKey{typ, port}] == s {
+		delete(m.ports, portKey{typ, port})
+	}
+	if path != "" && m.unixSocks[path] == s {
+		delete(m.unixSocks, path)
+	}
+	m.mu.Unlock()
+}
+
+// PortBound reports whether a socket is bound to (typ, port); the
+// daemon uses it to wait for a newly created filter to come up before
+// reporting it created.
+func (m *Machine) PortBound(typ int, port uint16) bool {
+	return m.lookupPort(typ, port) != nil
+}
+
+// lookupPort finds the socket bound to (typ, port).
+func (m *Machine) lookupPort(typ int, port uint16) *Socket {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ports[portKey{typ, port}]
+}
+
+// lookupUnix finds the socket bound to a UNIX path.
+func (m *Machine) lookupUnix(path string) *Socket {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.unixSocks[path]
+}
+
+// InjectDgram delivers a kernel-originated datagram to the socket
+// bound to a datagram port on this machine. The meterdaemon's child
+// termination notifications use it as the stand-in for SIGCHLD
+// delivery: the kernel pokes the daemon's notification socket when one
+// of its children changes state (section 3.5.1).
+func (m *Machine) InjectDgram(port uint16, data []byte, src meter.Name) {
+	if s := m.lookupPort(SockDgram, port); s != nil {
+		s.deliverDgram(data, src, m.clock.Now())
+	}
+}
+
+// DeliverDatagram implements netsim.Endpoint: a datagram arriving from
+// a network is routed to the socket bound to its destination port.
+// Datagrams to unbound ports are dropped, as UDP drops them.
+func (m *Machine) DeliverDatagram(dg netsim.Datagram) {
+	s := m.lookupPort(SockDgram, dg.Dst.Port)
+	if s == nil {
+		return
+	}
+	src, err := meter.ParseName(dg.SrcName)
+	if err != nil {
+		src = meter.Name{}
+	}
+	s.deliverDgram(dg.Data, src, dg.SentAt)
+}

@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+// TestMeterStreamMirrorsOperations is an oracle test: a process
+// performs a long randomized sequence of IPC operations while every
+// event type is metered immediately; the meter stream must mirror the
+// operation log exactly — same events, same order, same lengths. This
+// is the consistency property of section 2.2 (the dynamic view matches
+// the primitives the program used), checked mechanically.
+func TestMeterStreamMirrorsOperations(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, red, green := newTestCluster(t)
+			target := detached(t, red)
+			tap := newMeterTap(t, green, target, meter.MAll|meter.MImmediate, testUID)
+
+			rng := rand.New(rand.NewSource(seed))
+			type expect struct {
+				typ meter.Type
+				n   int // msgLength for send/recv, 0 otherwise
+			}
+			var want []expect
+
+			// Socketpair to start (4 events, per the paper).
+			fd1, fd2, err := target.SocketPair()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want,
+				expect{meter.EvSocket, 0}, expect{meter.EvSocket, 0},
+				expect{meter.EvConnect, 0}, expect{meter.EvAccept, 0})
+
+			pending := 0 // bytes in flight fd1 -> fd2
+			const ops = 200
+			for i := 0; i < ops; i++ {
+				switch op := rng.Intn(4); {
+				case op <= 1: // send
+					n := rng.Intn(64) + 1
+					if _, err := target.Send(fd1, make([]byte, n)); err != nil {
+						t.Fatal(err)
+					}
+					pending += n
+					want = append(want, expect{meter.EvSend, n})
+				case op == 2 && pending > 0: // recv
+					max := rng.Intn(pending) + 1
+					data, err := target.Recv(fd2, max)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pending -= len(data)
+					want = append(want,
+						expect{meter.EvRecvCall, 0},
+						expect{meter.EvRecv, len(data)})
+				case op == 3: // dup + close of the dup
+					dup, err := target.Dup(fd1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := target.Close(dup); err != nil {
+						t.Fatal(err)
+					}
+					want = append(want, expect{meter.EvDup, 0}, expect{meter.EvDestSocket, 0})
+				default: // recv with empty buffer would block; compute instead
+					target.Compute(100000) // 100µs
+				}
+			}
+
+			msgs := tap.collect(len(want))
+			for i, w := range want {
+				got := msgs[i]
+				if got.Header.TraceType != w.typ {
+					t.Fatalf("event %d: %v, want %v", i, got.Header.TraceType, w.typ)
+				}
+				switch w.typ {
+				case meter.EvSend:
+					if int(got.Body.(*meter.Send).MsgLength) != w.n {
+						t.Fatalf("event %d: send length %d, want %d", i, got.Body.(*meter.Send).MsgLength, w.n)
+					}
+				case meter.EvRecv:
+					if int(got.Body.(*meter.Recv).MsgLength) != w.n {
+						t.Fatalf("event %d: recv length %d, want %d", i, got.Body.(*meter.Recv).MsgLength, w.n)
+					}
+				}
+			}
+			// Header times never go backward for one process on one
+			// machine.
+			for i := 1; i < len(msgs); i++ {
+				if msgs[i].Header.CPUTime < msgs[i-1].Header.CPUTime {
+					t.Fatalf("event %d: cpuTime went backward", i)
+				}
+				if msgs[i].Header.ProcTime < msgs[i-1].Header.ProcTime {
+					t.Fatalf("event %d: procTime went backward", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,407 @@
+package kernel
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"dpm/internal/clock"
+	"dpm/internal/meter"
+)
+
+// Program is the body of a simulated process: the stand-in for the
+// text of an executable file. It runs on its own goroutine and its
+// return value is the process's exit status.
+type Program func(p *Process) int
+
+// Signals, with their 4.3BSD numbering. The controller's start/stop
+// commands translate to SIGCONT/SIGSTOP, and removing a running job's
+// processes to SIGKILL (paper section 3.5.1).
+type Signal int
+
+const (
+	SIGKILL Signal = 9
+	SIGSTOP Signal = 17
+	SIGCONT Signal = 19
+)
+
+// Exit reasons reported to exit watchers (the daemon turns them into
+// the "reason: normal" of termination notices).
+const (
+	ReasonNormal = "normal"
+	ReasonKilled = "killed"
+)
+
+// killedPanic unwinds a process goroutine when the process is killed
+// while executing or blocked in a system call.
+type killedPanic struct{}
+
+// exitPanic unwinds a process goroutine on Exit or at the end of Exec.
+type exitPanic struct{ status int }
+
+// fdEntry is one slot in a process's descriptor table. A slot holds a
+// socket, or (for the standard descriptors of processes run outside a
+// daemon gateway) a plain reader/writer.
+type fdEntry struct {
+	sock *Socket
+	w    io.Writer
+	r    io.Reader
+}
+
+// Process is a simulated 4.2BSD process: an address space (its Go
+// closure state) plus an execution stream (its goroutine). All
+// interaction with other processes and the operating system goes
+// through its system-call methods, which is precisely the surface the
+// paper's meter instruments.
+type Process struct {
+	machine *Machine
+	pid     int
+	ppid    int
+	uid     int
+	name    string
+	args    []string
+
+	mu  sync.Mutex
+	fds []*fdEntry
+
+	// The three fields the paper adds to the process table entry
+	// (section 3.2): the meter socket (not present in fds), the meter
+	// flag mask, and the buffer of unsent meter messages.
+	meterSock  *Socket
+	meterFlags meter.Flag
+	meterBuf   *meter.Buffer
+
+	cpu clock.CPUCounter
+	pc  uint32
+
+	sigMu    sync.Mutex
+	sigCond  *sync.Cond
+	started  bool
+	stopped  bool
+	killed   bool
+	startCh  chan struct{} // closed when the process may begin execution
+	killCh   chan struct{} // closed when the process is killed
+	detached bool          // no goroutine: driven by an external caller
+
+	exitOnce   sync.Once
+	exitCh     chan struct{} // closed when the process has terminated
+	exitStatus int
+	exitReason string
+	onExit     []func(p *Process, status int, reason string)
+}
+
+// PID returns the process id.
+func (p *Process) PID() int { return p.pid }
+
+// PPID returns the parent process id (0 for top-level processes).
+func (p *Process) PPID() int { return p.ppid }
+
+// UID returns the owning user id.
+func (p *Process) UID() int { return p.uid }
+
+// Name returns the program name the process was created with.
+func (p *Process) Name() string { return p.name }
+
+// Args returns the process's arguments.
+func (p *Process) Args() []string { return append([]string(nil), p.args...) }
+
+// Machine returns the machine the process runs on.
+func (p *Process) Machine() *Machine { return p.machine }
+
+// Exited reports whether the process has terminated, and with what
+// status and reason if so.
+func (p *Process) Exited() (bool, int, string) {
+	select {
+	case <-p.exitCh:
+		return true, p.exitStatus, p.exitReason
+	default:
+		return false, 0, ""
+	}
+}
+
+// WaitExit blocks until the process terminates and returns its status
+// and reason.
+func (p *Process) WaitExit() (int, string) {
+	<-p.exitCh
+	return p.exitStatus, p.exitReason
+}
+
+// ExitChan returns a channel closed at process termination.
+func (p *Process) ExitChan() <-chan struct{} { return p.exitCh }
+
+// OnExit registers a callback invoked (once, on the exiting process's
+// goroutine) after the process terminates — the simulation's SIGCHLD.
+// If the process has already exited the callback runs immediately.
+func (p *Process) OnExit(fn func(p *Process, status int, reason string)) {
+	p.sigMu.Lock()
+	if p.exited() {
+		p.sigMu.Unlock()
+		fn(p, p.exitStatus, p.exitReason)
+		return
+	}
+	p.onExit = append(p.onExit, fn)
+	p.sigMu.Unlock()
+}
+
+func (p *Process) exited() bool {
+	select {
+	case <-p.exitCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// run executes the program body with start-gate, kill, and exit
+// handling, then finalizes the process.
+func (p *Process) run(prog Program) {
+	defer p.machine.wg.Done()
+	// A kill also opens the start gate, so waiting on it alone covers
+	// both paths; the killed check below decides whether the body may
+	// run (a process killed in the "new" state never executes its
+	// first instruction).
+	<-p.startCh
+	p.sigMu.Lock()
+	killed := p.killed
+	p.sigMu.Unlock()
+	status, reason := -1, ReasonKilled
+	if !killed {
+		status, reason = p.invoke(prog)
+	}
+	p.finish(status, reason)
+}
+
+// invoke runs the program body, translating the kill/exit panics into
+// a status and reason.
+func (p *Process) invoke(prog Program) (status int, reason string) {
+	defer func() {
+		switch v := recover().(type) {
+		case nil:
+		case killedPanic:
+			status, reason = -1, ReasonKilled
+		case exitPanic:
+			status, reason = v.status, ReasonNormal
+		default:
+			panic(v)
+		}
+	}()
+	return prog(p), ReasonNormal
+}
+
+// finish is process termination (section 3.2): the termproc event is
+// generated, any unsent meter messages are forwarded to the filter,
+// descriptors are released, and exit watchers are notified.
+func (p *Process) finish(status int, reason string) {
+	p.exitOnce.Do(func() {
+		p.emit(&meter.TermProc{PID: uint32(p.pid), PC: p.nextPC(), Status: uint32(status)})
+		p.mu.Lock()
+		if p.meterBuf != nil {
+			p.meterBuf.Flush()
+		}
+		msock := p.meterSock
+		p.meterSock = nil
+		fds := p.fds
+		p.fds = nil
+		p.mu.Unlock()
+		if msock != nil {
+			msock.unref()
+		}
+		for _, e := range fds {
+			if e != nil && e.sock != nil {
+				e.sock.unref()
+			}
+		}
+		p.machine.removeProc(p.pid)
+
+		p.sigMu.Lock()
+		p.exitStatus = status
+		p.exitReason = reason
+		watchers := p.onExit
+		p.onExit = nil
+		p.sigMu.Unlock()
+		close(p.exitCh)
+		for _, fn := range watchers {
+			fn(p, status, reason)
+		}
+	})
+}
+
+// signal delivers sig to the process. It is the kernel half of the
+// UNIX signals the daemon uses for process control.
+func (p *Process) signal(sig Signal) {
+	p.sigMu.Lock()
+	switch sig {
+	case SIGSTOP:
+		p.stopped = true
+	case SIGCONT:
+		p.stopped = false
+		if !p.started {
+			p.started = true
+			close(p.startCh)
+		}
+		p.sigCond.Broadcast()
+	case SIGKILL:
+		if !p.killed {
+			p.killed = true
+			close(p.killCh)
+		}
+		if !p.started {
+			p.started = true
+			close(p.startCh)
+		}
+		p.sigCond.Broadcast()
+	}
+	p.sigMu.Unlock()
+}
+
+// checkpoint is executed at every system-call boundary: it blocks
+// while the process is stopped and unwinds it if killed. Detached
+// processes (driven by an external caller rather than a goroutine)
+// report kills as an error instead of panicking.
+func (p *Process) checkpoint() error {
+	p.sigMu.Lock()
+	for p.stopped && !p.killed {
+		p.sigCond.Wait()
+	}
+	killed := p.killed
+	detached := p.detached
+	p.sigMu.Unlock()
+	if killed {
+		if detached {
+			return ErrKilled
+		}
+		panic(killedPanic{})
+	}
+	return nil
+}
+
+// charge advances the machine clock and the process's CPU counter by
+// the cost of one unit of work.
+func (p *Process) charge(d time.Duration) {
+	p.machine.clock.Advance(d)
+	p.cpu.Charge(d)
+}
+
+// nextPC advances and returns the synthetic program counter recorded
+// in meter messages. A real kernel records the user PC of the system
+// call; a deterministic per-process counter serves the same purpose —
+// distinguishing call sites — in the simulation.
+func (p *Process) nextPC() uint32 {
+	p.mu.Lock()
+	p.pc += 4
+	pc := p.pc
+	p.mu.Unlock()
+	return pc
+}
+
+// meterState snapshots the metering fields.
+func (p *Process) meterState() (*Socket, meter.Flag, *meter.Buffer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.meterSock, p.meterFlags, p.meterBuf
+}
+
+// MeterFlags returns the process's current meter flag mask.
+func (p *Process) MeterFlags() meter.Flag {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.meterFlags
+}
+
+// MeterSocketID returns the id of the meter socket, or 0 if the
+// process is not connected to a filter. Tests use it to check
+// transparency: the id never appears in the descriptor table.
+func (p *Process) MeterSocketID() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.meterSock == nil {
+		return 0
+	}
+	return p.meterSock.id
+}
+
+// emit generates one meter message if the event is flagged for this
+// process (section 3.2: "On every call to a routine that might
+// initiate a meter event, the kernel checks whether the call is
+// currently metered").
+func (p *Process) emit(body meter.Body) {
+	sock, flags, buf := p.meterState()
+	if sock == nil || buf == nil || !flags.Selects(body.EventType()) {
+		return
+	}
+	msg := &meter.Msg{
+		Header: meter.Header{
+			Machine:  p.machine.id,
+			CPUTime:  uint32(p.machine.clock.NowMillis()),
+			ProcTime: uint32(p.cpu.QuantizedMillis()),
+		},
+		Body: body,
+	}
+	buf.Add(msg, flags.Immediate())
+}
+
+// fd returns the entry at descriptor fd.
+func (p *Process) fd(fd int) (*fdEntry, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fd < 0 || fd >= len(p.fds) || p.fds[fd] == nil {
+		return nil, ErrBadFD
+	}
+	return p.fds[fd], nil
+}
+
+// sockFD returns the socket at descriptor fd.
+func (p *Process) sockFD(fd int) (*Socket, error) {
+	e, err := p.fd(fd)
+	if err != nil {
+		return nil, err
+	}
+	if e.sock == nil {
+		return nil, ErrNotSocket
+	}
+	return e.sock, nil
+}
+
+// installFD places an entry in the lowest free descriptor slot, as
+// UNIX does, and returns the descriptor.
+func (p *Process) installFD(e *fdEntry) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, slot := range p.fds {
+		if slot == nil {
+			p.fds[i] = e
+			return i
+		}
+	}
+	p.fds = append(p.fds, e)
+	return len(p.fds) - 1
+}
+
+// NumFDs returns the number of open descriptors; the transparency
+// tests use it to show metering does not consume descriptor slots
+// ("The meter does not reduce the number of open files and sockets
+// available to the metered process", section 4.1).
+func (p *Process) NumFDs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.fds {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// HasSocketFD reports whether any descriptor refers to the socket with
+// the given id.
+func (p *Process) HasSocketFD(id uint32) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.fds {
+		if e != nil && e.sock != nil && e.sock.id == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,291 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"dpm/internal/meter"
+)
+
+// TestStreamFIFOProperty: whatever chunking the sender uses and
+// whatever read sizes the receiver uses, a stream delivers exactly the
+// concatenation of the bytes written, in order (section 3.1).
+func TestStreamFIFOProperty(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	p := detached(t, red)
+	f := func(chunks [][]byte, readSizes []uint8) bool {
+		fd1, fd2, err := p.SocketPair()
+		if err != nil {
+			return false
+		}
+		defer p.Close(fd1)
+		defer p.Close(fd2)
+		var want []byte
+		for _, c := range chunks {
+			if len(c) == 0 {
+				continue
+			}
+			if _, err := p.Send(fd1, c); err != nil {
+				return false
+			}
+			want = append(want, c...)
+		}
+		if err := p.Close(fd1); err != nil {
+			return false
+		}
+		var got []byte
+		i := 0
+		for {
+			size := 1
+			if len(readSizes) > 0 {
+				size = int(readSizes[i%len(readSizes)])%64 + 1
+			}
+			i++
+			data, err := p.Recv(fd2, size)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			got = append(got, data...)
+		}
+		return bytes.Equal(got, want)
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDatagramBoundaryProperty: local datagrams preserve message
+// boundaries and order regardless of sizes.
+func TestDatagramBoundaryProperty(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	p := detached(t, red)
+	port := uint16(20000)
+	f := func(msgs [][]byte) bool {
+		port++
+		rfd, err := p.Socket(meter.AFInet, SockDgram)
+		if err != nil {
+			return false
+		}
+		defer p.Close(rfd)
+		if err := p.BindPort(rfd, port); err != nil {
+			return false
+		}
+		s, err := p.sockFD(rfd)
+		if err != nil {
+			return false
+		}
+		rname := s.BoundName()
+		sfd, err := p.Socket(meter.AFInet, SockDgram)
+		if err != nil {
+			return false
+		}
+		defer p.Close(sfd)
+		var sent [][]byte
+		for _, m := range msgs {
+			if len(m) > 4096 {
+				m = m[:4096]
+			}
+			if _, err := p.SendTo(sfd, m, rname); err != nil {
+				return false
+			}
+			sent = append(sent, m)
+		}
+		for _, want := range sent {
+			got, err := p.Recv(rfd, 8192)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDescriptorSlotReuseProperty: closing descriptors frees their
+// slots; the lowest free slot is always reused, and the open-descriptor
+// count tracks opens minus closes.
+func TestDescriptorSlotReuseProperty(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	f := func(ops []bool) bool {
+		p, err := red.SpawnDetached(testUID, "fdtest")
+		if err != nil {
+			return false
+		}
+		base := p.NumFDs()
+		var open []int
+		count := 0
+		for _, doOpen := range ops {
+			if doOpen || len(open) == 0 {
+				fd, err := p.Socket(meter.AFInet, SockDgram)
+				if err != nil {
+					return false
+				}
+				open = append(open, fd)
+				count++
+			} else {
+				fd := open[len(open)-1]
+				open = open[:len(open)-1]
+				if err := p.Close(fd); err != nil {
+					return false
+				}
+				count--
+			}
+			if p.NumFDs() != base+count {
+				return false
+			}
+		}
+		// UNIX semantics: the next socket gets the lowest free slot.
+		for _, fd := range open {
+			if err := p.Close(fd); err != nil {
+				return false
+			}
+		}
+		fd, err := p.Socket(meter.AFInet, SockDgram)
+		if err != nil {
+			return false
+		}
+		return fd == 3 // 0,1,2 are stdio
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectNoFDs(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	p := detached(t, red)
+	if _, err := p.Select(nil); !errors.Is(err, ErrInval) {
+		t.Fatalf("err = %v, want ErrInval", err)
+	}
+}
+
+func TestMeteredProcessSurvivesFilterDeath(t *testing.T) {
+	// Transparency under failure: if the filter dies, the metered
+	// process must be unaffected — its meter messages are silently
+	// lost, like messages on an unconnected socket (Appendix C).
+	_, red, green := newTestCluster(t)
+	target := detached(t, red)
+	tap := newMeterTap(t, green, target, meter.MAll|meter.MImmediate, testUID)
+
+	f1, f2, err := target.SocketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.Send(f1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	tap.collect(5) // pair(4) + send
+
+	// The "filter" dies: its end of the meter connection closes.
+	if err := tap.filter.Close(tap.connFD); err != nil {
+		t.Fatal(err)
+	}
+
+	// The metered process continues undisturbed.
+	for i := 0; i < 20; i++ {
+		if _, err := target.Send(f1, []byte("after")); err != nil {
+			t.Fatalf("send %d after filter death: %v", i, err)
+		}
+		if _, err := target.Recv(f2, 100); err != nil {
+			t.Fatalf("recv %d after filter death: %v", i, err)
+		}
+	}
+}
+
+func TestGrandchildInheritsMetering(t *testing.T) {
+	// Metering flows down fork chains: "all of the children of a
+	// metered process will also have the same events monitored"
+	// (section 3.2) — including children of children.
+	_, red, green := newTestCluster(t)
+	parent, err := red.Spawn(SpawnSpec{UID: testUID, Name: "gen0", Suspended: true, Program: func(p *Process) int {
+		done := make(chan struct{})
+		_, err := p.Fork(func(child *Process) int {
+			defer close(done)
+			inner := make(chan struct{})
+			_, err := child.Fork(func(grandchild *Process) int {
+				defer close(inner)
+				g1, _, err := grandchild.SocketPair()
+				if err != nil {
+					return 1
+				}
+				if _, err := grandchild.Send(g1, []byte("deep")); err != nil {
+					return 1
+				}
+				return 0
+			})
+			if err != nil {
+				return 1
+			}
+			<-inner
+			return 0
+		})
+		if err != nil {
+			return 1
+		}
+		<-done
+		return 0
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := newMeterTap(t, green, parent, meter.MFork|meter.MSend|meter.MImmediate, testUID)
+	if err := red.Signal(parent.PID(), SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+	msgs := tap.collect(3) // fork, fork, send
+	if msgs[0].Header.TraceType != meter.EvFork || msgs[1].Header.TraceType != meter.EvFork {
+		t.Fatalf("events = %v", types(msgs))
+	}
+	send := msgs[2].Body.(*meter.Send)
+	grandchild := msgs[1].Body.(*meter.Fork).NewPID
+	if send.PID != grandchild {
+		t.Fatalf("send pid %d, want grandchild %d", send.PID, grandchild)
+	}
+	if status, _ := parent.WaitExit(); status != 0 {
+		t.Fatalf("status %d", status)
+	}
+}
+
+func TestSetmeterReplacingSocketFlushesOld(t *testing.T) {
+	// "If setmeter() is called specifying a new meter socket for a
+	// process already having one, the old socket is closed" — and the
+	// buffered messages reach the old filter first.
+	_, red, green := newTestCluster(t)
+	target := detached(t, red)
+	tap1 := newMeterTap(t, green, target, meter.MSend, testUID) // buffered
+	f1, _, err := target.SocketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.Send(f1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Re-point metering at a second tap; the buffered send must be
+	// flushed to the first.
+	tap2 := newMeterTap(t, green, target, meter.MSend|meter.MImmediate, testUID)
+	msgs := tap1.collect(1)
+	if msgs[0].Header.TraceType != meter.EvSend {
+		t.Fatalf("old tap got %v", types(msgs))
+	}
+	if _, err := target.Send(f1, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	msgs = tap2.collect(1)
+	if got := msgs[0].Body.(*meter.Send).MsgLength; got != 3 {
+		t.Fatalf("new tap send length = %d", got)
+	}
+}

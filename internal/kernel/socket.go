@@ -1,0 +1,213 @@
+package kernel
+
+import (
+	"sync"
+	"time"
+
+	"dpm/internal/meter"
+)
+
+// Socket types, with the 4.2BSD values.
+const (
+	SockStream = 1
+	SockDgram  = 2
+)
+
+// dgram is one queued datagram on a receiving socket.
+type dgram struct {
+	data []byte
+	src  meter.Name
+}
+
+// Socket is one 4.2BSD socket: an endpoint of communication that,
+// once created, exists independent of the creating process and
+// disappears when no longer referenced (paper section 3.1). Sockets
+// are identified in meter messages by their ID, the stand-in for
+// "their address within the system descriptor table", unique within a
+// machine (section 4.1).
+type Socket struct {
+	id      uint32
+	machine *Machine
+	domain  uint16 // meter.AFUnix or meter.AFInet (meter.AFPair for socketpair ends)
+	typ     int    // SockStream or SockDgram
+
+	mu      sync.Mutex
+	changed chan struct{} // closed and replaced on every state change
+	refs    int           // descriptor references across all processes
+	closed  bool
+
+	// Naming.
+	bound     bool
+	boundName meter.Name
+	port      uint16 // inet binding
+	path      string // unix binding
+
+	// Stream listener state.
+	listening    bool
+	backlog      int
+	pendingConns []*Socket
+
+	// Stream connection state.
+	connected  bool
+	peer       *Socket
+	peerName   meter.Name
+	recvBuf    []byte
+	peerClosed bool
+
+	// Datagram state.
+	dgrams      []dgram
+	defaultDest meter.Name // set by connect() on a datagram socket
+}
+
+// broadcastLocked wakes every waiter on the socket. Callers hold s.mu.
+func (s *Socket) broadcastLocked() {
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// ID returns the socket's machine-unique identifier.
+func (s *Socket) ID() uint32 { return s.id }
+
+// Type returns SockStream or SockDgram.
+func (s *Socket) Type() int { return s.typ }
+
+// Domain returns the socket's address family.
+func (s *Socket) Domain() uint16 { return s.domain }
+
+// BoundName returns the name bound to the socket, zero if unbound.
+func (s *Socket) BoundName() meter.Name {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.boundName
+}
+
+// PeerName returns the name of the connected peer, zero if none.
+func (s *Socket) PeerName() meter.Name {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerName
+}
+
+// Connected reports whether a stream socket is currently connected.
+func (s *Socket) Connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connected && !s.peerClosed
+}
+
+// ref adds a descriptor reference.
+func (s *Socket) ref() {
+	s.mu.Lock()
+	s.refs++
+	s.mu.Unlock()
+}
+
+// unref drops a descriptor reference; the last drop destroys the
+// socket ("A socket disappears when it is no longer referenced by any
+// process", section 3.1).
+func (s *Socket) unref() {
+	s.mu.Lock()
+	s.refs--
+	if s.refs > 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	pending := s.pendingConns
+	s.pendingConns = nil
+	peer := s.peer
+	s.broadcastLocked()
+	s.mu.Unlock()
+
+	s.machine.unbindSocket(s)
+	// Reject connections that were queued but never accepted.
+	for _, c := range pending {
+		c.notifyPeerClosed()
+	}
+	if peer != nil {
+		peer.notifyPeerClosed()
+	}
+}
+
+// notifyPeerClosed marks the remote end gone and wakes readers, which
+// then drain the buffer and see EOF.
+func (s *Socket) notifyPeerClosed() {
+	s.mu.Lock()
+	s.peerClosed = true
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// readyLocked reports whether a read-style operation would not block:
+// data queued, a pending connection to accept, or EOF visible.
+func (s *Socket) readyLocked() bool {
+	if s.closed {
+		return true
+	}
+	if s.listening {
+		return len(s.pendingConns) > 0
+	}
+	if s.typ == SockDgram {
+		return len(s.dgrams) > 0
+	}
+	return len(s.recvBuf) > 0 || s.peerClosed
+}
+
+// Readable reports whether a read would not block; the select() system
+// call is built on it.
+func (s *Socket) Readable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readyLocked()
+}
+
+// waitChan returns the channel that will be closed at the next state
+// change, for use in select loops.
+func (s *Socket) waitChan() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.changed
+}
+
+// deliverStream appends stream bytes arriving from the peer.
+// sentAt is the sender's machine-clock reading; the receiving
+// machine's clock is raised to it, so time observably passes on a
+// machine whose processes are blocked waiting (clock gossip — the
+// loose synchronization message traffic provides on a real network).
+func (s *Socket) deliverStream(data []byte, sentAt time.Duration) {
+	s.machine.clock.AdvanceTo(sentAt)
+	s.mu.Lock()
+	if !s.closed {
+		s.recvBuf = append(s.recvBuf, data...)
+		s.broadcastLocked()
+	}
+	s.mu.Unlock()
+}
+
+// deliverDgram enqueues one datagram, with the same clock gossip as
+// deliverStream.
+func (s *Socket) deliverDgram(data []byte, src meter.Name, sentAt time.Duration) {
+	s.machine.clock.AdvanceTo(sentAt)
+	s.mu.Lock()
+	if !s.closed {
+		s.dgrams = append(s.dgrams, dgram{data: append([]byte(nil), data...), src: src})
+		s.broadcastLocked()
+	}
+	s.mu.Unlock()
+}
+
+// kernelSend writes data to the socket's stream peer from kernel
+// context, bypassing any descriptor table. The metering machinery uses
+// it for the meter connection; per the man page, "Meter messages are
+// lost if they are sent on an unconnected socket", so errors are
+// swallowed.
+func (s *Socket) kernelSend(data []byte) {
+	s.mu.Lock()
+	peer := s.peer
+	ok := s.connected && !s.peerClosed && !s.closed
+	s.mu.Unlock()
+	if !ok || peer == nil {
+		return
+	}
+	peer.deliverStream(data, s.machine.clock.Now())
+}

@@ -1,0 +1,162 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+// TestVariantsProduceSameMeterEvents pins the paper's consistency
+// rule: "the many versions of write() all correspond to the same
+// meter event, as do the varieties of read(). It is not important to
+// distinguish between the varieties of these operations to understand
+// the communication taking place" (section 3.2).
+func TestVariantsProduceSameMeterEvents(t *testing.T) {
+	_, red, green := newTestCluster(t)
+	target := detached(t, red)
+	tap := newMeterTap(t, green, target, meter.MSend|meter.MReceiveCall|meter.MReceive|meter.MImmediate, testUID)
+
+	fd1, fd2, err := target.SocketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four send variants...
+	if _, err := target.Send(fd1, []byte("aa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.Write(fd1, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.Writev(fd1, [][]byte{[]byte("c"), []byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.SendMsg(fd1, []byte("dd")); err != nil {
+		t.Fatal(err)
+	}
+	// ...and four receive variants.
+	if _, err := target.Recv(fd2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.Read(fd2, 2); err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := make([]byte, 1), make([]byte, 1)
+	if _, err := target.Readv(fd2, [][]byte{b1, b2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := target.RecvMsg(fd2, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	msgs := tap.collect(12) // 4 sends + 4×(recvcall+recv)
+	var got []meter.Type
+	for _, m := range msgs {
+		got = append(got, m.Header.TraceType)
+	}
+	want := []meter.Type{
+		meter.EvSend, meter.EvSend, meter.EvSend, meter.EvSend,
+		meter.EvRecvCall, meter.EvRecv,
+		meter.EvRecvCall, meter.EvRecv,
+		meter.EvRecvCall, meter.EvRecv,
+		meter.EvRecvCall, meter.EvRecv,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v (variants must collapse)", i, got[i], want[i])
+		}
+	}
+	// Every send body reports the same length regardless of variant.
+	for i := 0; i < 4; i++ {
+		if l := msgs[i].Body.(*meter.Send).MsgLength; l != 2 {
+			t.Fatalf("send %d length = %d", i, l)
+		}
+	}
+}
+
+func TestReadvScattersAcrossBuffers(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	p := detached(t, red)
+	fd1, fd2, err := p.SocketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send(fd1, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	b1, b2, b3 := make([]byte, 2), make([]byte, 3), make([]byte, 4)
+	n, err := p.Readv(fd2, [][]byte{b1, b2, b3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("n = %d", n)
+	}
+	if !bytes.Equal(b1, []byte("ab")) || !bytes.Equal(b2, []byte("cde")) || !bytes.Equal(b3[:1], []byte("f")) {
+		t.Fatalf("buffers = %q %q %q", b1, b2, b3)
+	}
+}
+
+func TestReadvNoBuffers(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	p := detached(t, red)
+	fd1, _, err := p.SocketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Readv(fd1, nil); err == nil {
+		t.Fatal("readv with no buffers succeeded")
+	}
+}
+
+func TestWritevGathers(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	p := detached(t, red)
+	fd1, fd2, err := p.SocketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Writev(fd1, [][]byte{[]byte("one"), []byte("two")}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.Recv(fd2, 100)
+	if err != nil || string(data) != "onetwo" {
+		t.Fatalf("data = %q, %v", data, err)
+	}
+}
+
+func TestMixedBufferedAndImmediatePreservesOrder(t *testing.T) {
+	// Switching M_IMMEDIATE on and off mid-stream must never reorder
+	// the meter stream: the buffer flushes in order.
+	_, red, green := newTestCluster(t)
+	target := detached(t, red)
+	tap := newMeterTap(t, green, target, meter.MSend, testUID) // buffered
+	fd1, _, err := target.SocketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // buffered, below threshold
+		if _, err := target.Send(fd1, make([]byte, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip to immediate; the pending three must drain before the new
+	// one arrives... the kernel keeps them in the buffer until a
+	// flush, so the immediate message triggers one flush containing
+	// all four in order.
+	if err := target.Setmeter(Self, int(meter.MSend|meter.MImmediate), NoChange); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.Send(fd1, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	msgs := tap.collect(4)
+	for i, m := range msgs {
+		if got := m.Body.(*meter.Send).MsgLength; got != uint32(i+1) {
+			t.Fatalf("message %d length = %d; order broken", i, got)
+		}
+	}
+}

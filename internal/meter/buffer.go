@@ -1,0 +1,101 @@
+package meter
+
+import "sync"
+
+// DefaultBufferCount is how many meter messages the kernel accumulates
+// before sending them together to the filter. The paper does not give
+// the 4.2BSD value, only that "the default is to buffer several
+// messages so that the number of meter messages is considerably
+// smaller than the number of messages sent by the metered process"
+// (section 4.1); eight gives that "considerably smaller" reduction
+// while bounding the latency of trace data.
+const DefaultBufferCount = 8
+
+// Stats counts the traffic through one meter buffer, used by the
+// benchmarks that reproduce the paper's buffering claim (EXPERIMENTS.md
+// experiment C2).
+type Stats struct {
+	Events  int64 // meter messages generated
+	Flushes int64 // writes to the meter connection
+	Bytes   int64 // bytes written to the meter connection
+}
+
+// Buffer is the kernel-side store of meter messages that have yet to
+// be sent — the third field the paper adds to the process table entry.
+// Add encodes each message immediately (the kernel extracts event data
+// at event time, section 3.3) and triggers a flush when the threshold
+// is reached or immediate delivery is requested.
+type Buffer struct {
+	mu        sync.Mutex
+	threshold int
+	pending   []byte
+	count     int
+	stats     Stats
+	send      func([]byte)
+}
+
+// NewBuffer returns a buffer that delivers batches through send (a
+// write on the meter connection). A threshold below 1 is treated as 1,
+// i.e. unbuffered.
+func NewBuffer(threshold int, send func([]byte)) *Buffer {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Buffer{threshold: threshold, send: send}
+}
+
+// Add appends one meter message; if immediate is set or the threshold
+// is reached, the pending batch is sent.
+func (b *Buffer) Add(m *Msg, immediate bool) {
+	b.mu.Lock()
+	b.pending = m.AppendEncode(b.pending)
+	b.count++
+	b.stats.Events++
+	var batch []byte
+	if immediate || b.count >= b.threshold {
+		batch = b.take()
+	}
+	b.mu.Unlock()
+	if batch != nil {
+		b.send(batch)
+	}
+}
+
+// Flush sends any pending messages; the kernel calls it as part of
+// process termination ("any unsent messages are forwarded to the
+// filter", section 3.2) and before the meter connection is replaced.
+func (b *Buffer) Flush() {
+	b.mu.Lock()
+	batch := b.take()
+	b.mu.Unlock()
+	if batch != nil {
+		b.send(batch)
+	}
+}
+
+// take removes and returns the pending batch. Caller holds b.mu.
+func (b *Buffer) take() []byte {
+	if b.count == 0 {
+		return nil
+	}
+	batch := b.pending
+	b.pending = nil
+	b.count = 0
+	b.stats.Flushes++
+	b.stats.Bytes += int64(len(batch))
+	return batch
+}
+
+// Pending returns the number of buffered, unsent messages.
+func (b *Buffer) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// Stats returns a snapshot of the buffer's counters.
+func (b *Buffer) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

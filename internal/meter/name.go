@@ -1,0 +1,129 @@
+package meter
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// NameSize is the size of a socket name in a meter message: the 16
+// bytes of a 4.2BSD struct sockaddr (Appendix A: "typedef struct
+// sockaddr NAME").
+const NameSize = 16
+
+// Address families carried in the first two bytes of a Name. AFUnix
+// and AFInet use their 4.2BSD values; AFPair is the family invented
+// for the internally generated unique names of socketpairs (section
+// 4.1: "in the case of socketpairs, an internally generated unique
+// name").
+const (
+	AFUnspec uint16 = 0
+	AFUnix   uint16 = 1
+	AFInet   uint16 = 2
+	AFPair   uint16 = 100
+)
+
+// Name is a socket name as carried in meter messages: a fixed 16-byte
+// sockaddr image. The family occupies bytes 0–1 (little-endian, as the
+// VAX stored shorts); an Internet name stores port (bytes 2–3) and
+// host (bytes 4–7) in network byte order like sockaddr_in; UNIX-domain
+// and socketpair names store up to 14 path bytes.
+type Name [NameSize]byte
+
+// maxPath is the path capacity of a UNIX-domain Name.
+const maxPath = NameSize - 2
+
+// InetName builds an Internet-domain socket name.
+func InetName(host uint32, port uint16) Name {
+	var n Name
+	binary.LittleEndian.PutUint16(n[0:2], AFInet)
+	binary.BigEndian.PutUint16(n[2:4], port)
+	binary.BigEndian.PutUint32(n[4:8], host)
+	return n
+}
+
+// UnixName builds a UNIX-domain socket name from a path. Paths longer
+// than 14 bytes are truncated, as sockaddr_un fields were.
+func UnixName(path string) Name { return pathName(AFUnix, path) }
+
+// PairName builds the internally generated unique name of one
+// socketpair endpoint.
+func PairName(id uint32) Name { return pathName(AFPair, fmt.Sprintf("pair#%d", id)) }
+
+func pathName(family uint16, path string) Name {
+	// sockaddr paths are NUL-terminated: anything from the first NUL
+	// on is unrepresentable and dropped, keeping names canonical.
+	if i := strings.IndexByte(path, 0); i >= 0 {
+		path = path[:i]
+	}
+	var n Name
+	binary.LittleEndian.PutUint16(n[0:2], family)
+	copy(n[2:], path)
+	return n
+}
+
+// Family returns the name's address family.
+func (n Name) Family() uint16 { return binary.LittleEndian.Uint16(n[0:2]) }
+
+// Inet returns the host and port of an Internet name. It is only
+// meaningful when Family() == AFInet.
+func (n Name) Inet() (host uint32, port uint16) {
+	return binary.BigEndian.Uint32(n[4:8]), binary.BigEndian.Uint16(n[2:4])
+}
+
+// Path returns the path of a UNIX-domain or socketpair name.
+func (n Name) Path() string {
+	b := n[2:]
+	if i := bytes.IndexByte(b, 0); i >= 0 {
+		b = b[:i]
+	}
+	return string(b)
+}
+
+// IsZero reports whether the name is entirely unset — the encoding of
+// "name not available", as when a process writes across a connection
+// and the recipient is unknown to the metering software (section 4.1).
+func (n Name) IsZero() bool { return n == Name{} }
+
+// String renders the name for trace logs and analysis output.
+func (n Name) String() string {
+	switch n.Family() {
+	case AFUnspec:
+		if n.IsZero() {
+			return "-"
+		}
+		return fmt.Sprintf("unspec:%x", n[2:])
+	case AFInet:
+		host, port := n.Inet()
+		return fmt.Sprintf("inet:%d:%d", host, port)
+	case AFUnix:
+		return "unix:" + n.Path()
+	case AFPair:
+		return "pair:" + n.Path()
+	default:
+		return fmt.Sprintf("af%d:%x", n.Family(), n[2:])
+	}
+}
+
+// ParseName parses the String form back into a Name; trace logs store
+// names in that form. It returns an error for unrecognized syntax.
+func ParseName(s string) (Name, error) {
+	switch {
+	case s == "-":
+		return Name{}, nil
+	case len(s) > 5 && s[:5] == "inet:":
+		var host uint32
+		var port uint16
+		if _, err := fmt.Sscanf(s, "inet:%d:%d", &host, &port); err != nil {
+			return Name{}, fmt.Errorf("meter: bad inet name %q: %v", s, err)
+		}
+		return InetName(host, port), nil
+	case len(s) >= 5 && s[:5] == "unix:":
+		return UnixName(s[5:]), nil
+	case len(s) >= 5 && s[:5] == "pair:":
+		return pathName(AFPair, s[5:]), nil
+	default:
+		return Name{}, fmt.Errorf("meter: unrecognized name %q", s)
+	}
+}

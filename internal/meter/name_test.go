@@ -1,0 +1,116 @@
+package meter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInetNameRoundTrip(t *testing.T) {
+	n := InetName(228320140, 3000)
+	if n.Family() != AFInet {
+		t.Fatalf("family = %d, want AFInet", n.Family())
+	}
+	host, port := n.Inet()
+	if host != 228320140 || port != 3000 {
+		t.Fatalf("Inet() = (%d, %d)", host, port)
+	}
+}
+
+func TestUnixName(t *testing.T) {
+	n := UnixName("/tmp/sock")
+	if n.Family() != AFUnix {
+		t.Fatalf("family = %d, want AFUnix", n.Family())
+	}
+	if n.Path() != "/tmp/sock" {
+		t.Fatalf("path = %q", n.Path())
+	}
+}
+
+func TestUnixNameTruncates(t *testing.T) {
+	long := "/a/very/long/path/name/indeed"
+	n := UnixName(long)
+	if got := n.Path(); got != long[:maxPath] {
+		t.Fatalf("path = %q, want %q", got, long[:maxPath])
+	}
+}
+
+func TestUnixNameTruncatesAtNUL(t *testing.T) {
+	// sockaddr paths are NUL-terminated: bytes from the first NUL on
+	// are unrepresentable and must be dropped so names stay canonical
+	// (found by FuzzParseName).
+	n := UnixName("/tmp\x00junk")
+	if n.Path() != "/tmp" {
+		t.Fatalf("path = %q", n.Path())
+	}
+	again, err := ParseName(n.String())
+	if err != nil || again != n {
+		t.Fatalf("round trip: %v %v", again, err)
+	}
+}
+
+func TestPairNameUnique(t *testing.T) {
+	a, b := PairName(1), PairName(2)
+	if a == b {
+		t.Fatal("distinct pair ids produced equal names")
+	}
+	if a.Family() != AFPair {
+		t.Fatalf("family = %d, want AFPair", a.Family())
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var zero Name
+	if !zero.IsZero() {
+		t.Fatal("zero name not IsZero")
+	}
+	if InetName(1, 1).IsZero() {
+		t.Fatal("inet name reported zero")
+	}
+}
+
+func TestNameStringForms(t *testing.T) {
+	cases := map[string]Name{
+		"-":           {},
+		"inet:99:7":   InetName(99, 7),
+		"unix:/tmp/x": UnixName("/tmp/x"),
+		"pair:pair#3": PairName(3),
+	}
+	for want, n := range cases {
+		if got := n.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestParseNameRoundTrip(t *testing.T) {
+	names := []Name{{}, InetName(228320140, 21), UnixName("/tmp/srv"), PairName(12)}
+	for _, n := range names {
+		got, err := ParseName(n.String())
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", n.String(), err)
+		}
+		if got != n {
+			t.Fatalf("ParseName(%q) = %v, want %v", n.String(), got, n)
+		}
+	}
+}
+
+func TestParseNameErrors(t *testing.T) {
+	for _, s := range []string{"", "bogus", "inet:x:y"} {
+		if _, err := ParseName(s); err == nil {
+			t.Errorf("ParseName(%q) succeeded", s)
+		}
+	}
+}
+
+func TestInetNameRoundTripProperty(t *testing.T) {
+	f := func(host uint32, port uint16) bool {
+		n := InetName(host, port)
+		h, p := n.Inet()
+		parsed, err := ParseName(n.String())
+		return h == host && p == port && err == nil && parsed == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package netsim simulates the internetwork connecting the machines of
+// the monitored cluster.
+//
+// The paper's model of communication (section 3.1) distinguishes only
+// two transport semantics: datagrams ("delivery ... is not guaranteed,
+// though it is likely. Nor is the order ... guaranteed") and streams
+// (reliable, ordered byte streams). Section 3.5.4 additionally notes
+// that a host may be a member of two or more networks, with a different
+// address on each, which is why socket names must be exchanged as
+// (literal host name, port) rather than as addresses.
+//
+// Network reproduces the datagram side: an addressed fabric that can
+// drop, delay, and reorder datagrams under a seeded random source.
+// Stream connections are reliable and ordered by definition, so the
+// kernel implements them as directly paired socket buffers; no paper
+// claim depends on stream timing, and keeping streams synchronous keeps
+// the simulation deterministic.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Errors reported by the fabric.
+var (
+	ErrNoHost   = errors.New("netsim: no such host on network (EHOSTUNREACH)")
+	ErrClosed   = errors.New("netsim: network closed")
+	ErrTooBig   = errors.New("netsim: datagram exceeds maximum size (EMSGSIZE)")
+	ErrAttached = errors.New("netsim: host id already attached")
+)
+
+// MaxDatagram is the largest datagram the fabric will carry, matching
+// the common 4.2BSD UDP limit order of magnitude.
+const MaxDatagram = 8192
+
+// Addr is a network-layer address: which network, which host on it,
+// and which port. A multi-homed machine has one Addr per attached
+// network (paper section 3.5.4).
+type Addr struct {
+	Net  string
+	Host uint32
+	Port uint16
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%s/%d:%d", a.Net, a.Host, a.Port)
+}
+
+// Datagram is one unreliable message in flight. SrcName carries the
+// sender's full socket name (section 3.1: recvfrom reports the source),
+// which the fabric treats as opaque. SentAt is the sending machine's
+// clock reading at transmission; the receiving kernel uses it for
+// clock gossip.
+type Datagram struct {
+	Src     Addr
+	Dst     Addr
+	SrcName string
+	SentAt  time.Duration
+	Data    []byte
+}
+
+// Endpoint receives datagrams addressed to one host. The kernel of
+// each machine implements this for each network it attaches to.
+// DeliverDatagram may be called from fabric goroutines; implementations
+// must be safe for concurrent use and must not block for long.
+type Endpoint interface {
+	DeliverDatagram(dg Datagram)
+}
+
+// Network is one broadcast-domain of the simulated internetwork.
+type Network struct {
+	name string
+
+	mu      sync.Mutex
+	eps     map[uint32]Endpoint
+	rng     *rand.Rand
+	loss    float64
+	reorder float64
+	latency time.Duration
+	jitter  time.Duration
+	held    *Datagram // datagram held back for reordering
+	closed  bool
+
+	wg sync.WaitGroup // outstanding delayed deliveries
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLoss sets the independent per-datagram drop probability.
+func WithLoss(rate float64) Option {
+	return func(n *Network) { n.loss = rate }
+}
+
+// WithReorder sets the probability that a datagram is held back and
+// delivered after the next datagram to the same network.
+func WithReorder(rate float64) Option {
+	return func(n *Network) { n.reorder = rate }
+}
+
+// WithLatency sets a fixed delivery delay plus a uniform jitter bound.
+// The default is synchronous delivery, which keeps tests deterministic.
+func WithLatency(latency, jitter time.Duration) Option {
+	return func(n *Network) { n.latency, n.jitter = latency, jitter }
+}
+
+// WithSeed seeds the fabric's random source so loss and reordering are
+// reproducible.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New returns a network with the given name. Without options it is
+// perfectly reliable and synchronous.
+func New(name string, opts ...Option) *Network {
+	n := &Network{
+		name: name,
+		eps:  make(map[uint32]Endpoint),
+		rng:  rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.name }
+
+// Attach registers an endpoint as the given host id on this network.
+func (n *Network) Attach(host uint32, ep Endpoint) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	if _, ok := n.eps[host]; ok {
+		return fmt.Errorf("%w: %d", ErrAttached, host)
+	}
+	n.eps[host] = ep
+	return nil
+}
+
+// Detach removes a host from the network.
+func (n *Network) Detach(host uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.eps, host)
+}
+
+// Send injects a datagram into the fabric. It returns an error only
+// for local conditions (unknown destination host, oversize datagram,
+// closed network); silent loss in transit is, as on a real network,
+// not reported to the sender.
+func (n *Network) Send(dg Datagram) error {
+	if len(dg.Data) > MaxDatagram {
+		return ErrTooBig
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	ep, ok := n.eps[dg.Dst.Host]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrNoHost, dg.Dst)
+	}
+	if n.loss > 0 && n.rng.Float64() < n.loss {
+		n.mu.Unlock()
+		return nil // lost in transit
+	}
+	// Reordering: hold this datagram back and release it after the
+	// next one passes through.
+	var toDeliver []delivery
+	if n.held != nil {
+		heldEp := n.eps[n.held.Dst.Host]
+		toDeliver = append(toDeliver, delivery{ep, dg})
+		if heldEp != nil {
+			toDeliver = append(toDeliver, delivery{heldEp, *n.held})
+		}
+		n.held = nil
+	} else if n.reorder > 0 && n.rng.Float64() < n.reorder {
+		held := dg
+		n.held = &held
+		n.mu.Unlock()
+		return nil
+	} else {
+		toDeliver = append(toDeliver, delivery{ep, dg})
+	}
+	delay := n.latency
+	if n.jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	}
+	n.mu.Unlock()
+
+	for _, d := range toDeliver {
+		n.deliver(d, delay)
+	}
+	return nil
+}
+
+type delivery struct {
+	ep Endpoint
+	dg Datagram
+}
+
+func (n *Network) deliver(d delivery, delay time.Duration) {
+	if delay <= 0 {
+		d.ep.DeliverDatagram(d.dg)
+		return
+	}
+	n.wg.Add(1)
+	time.AfterFunc(delay, func() {
+		defer n.wg.Done()
+		d.ep.DeliverDatagram(d.dg)
+	})
+}
+
+// Flush releases any datagram currently held back for reordering.
+// The kernel calls it when a socket closes so no datagram is stranded.
+func (n *Network) Flush() {
+	n.mu.Lock()
+	held := n.held
+	n.held = nil
+	var ep Endpoint
+	if held != nil {
+		ep = n.eps[held.Dst.Host]
+	}
+	n.mu.Unlock()
+	if held != nil && ep != nil {
+		ep.DeliverDatagram(*held)
+	}
+}
+
+// Close shuts the network down and waits for delayed deliveries to
+// finish, so no goroutine outlives the simulation.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.held = nil
+	n.mu.Unlock()
+	n.wg.Wait()
+}

@@ -1,0 +1,37 @@
+package trace
+
+import "testing"
+
+// FuzzParseLog checks the log parser on arbitrary text; accepted
+// traces must survive a Format/ParseLog round trip.
+func FuzzParseLog(f *testing.F) {
+	f.Add(sampleLog)
+	f.Add("")
+	f.Add("SEND machine=1 cpuTime=1 procTime=0 pid=1 pc=4 sock=1 msgLength=1 destNameLen=0 destName=-\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		events, err := ParseLog([]byte(text))
+		if err != nil {
+			return
+		}
+		var relogged []byte
+		for i := range events {
+			relogged = append(relogged, events[i].Format()...)
+			relogged = append(relogged, '\n')
+		}
+		again, err := ParseLog(relogged)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, relogged)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed count %d -> %d", len(events), len(again))
+		}
+	})
+}
+
+// FuzzParseBinary checks the binary trace parser on arbitrary bytes.
+func FuzzParseBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ParseBinary(data)
+	})
+}

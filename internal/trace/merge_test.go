@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpm/internal/meter"
+)
+
+func ev(machine, pid int, cpu int64, typ meter.Type) Event {
+	return Event{
+		Type: typ, Event: typ.String(), Machine: machine, CPUTime: cpu,
+		Fields: map[string]uint64{"pid": uint64(pid)},
+		Names:  map[string]meter.Name{},
+	}
+}
+
+func TestMergeOrdersByClock(t *testing.T) {
+	a := []Event{ev(1, 10, 5, meter.EvSend), ev(1, 10, 20, meter.EvSend)}
+	b := []Event{ev(2, 20, 10, meter.EvRecv)}
+	m := Merge(a, b)
+	if len(m) != 3 {
+		t.Fatalf("merged %d events", len(m))
+	}
+	if m[0].CPUTime != 5 || m[1].CPUTime != 10 || m[2].CPUTime != 20 {
+		t.Fatalf("order = %d %d %d", m[0].CPUTime, m[1].CPUTime, m[2].CPUTime)
+	}
+	for i := range m {
+		if m[i].Seq != i {
+			t.Fatalf("Seq[%d] = %d", i, m[i].Seq)
+		}
+	}
+}
+
+func TestMergePreservesProgramOrder(t *testing.T) {
+	// Equal timestamps (the 10ms clock granularity makes them common)
+	// must not reorder one process's events.
+	a := []Event{
+		ev(1, 10, 100, meter.EvRecvCall),
+		ev(1, 10, 100, meter.EvRecv),
+		ev(1, 10, 100, meter.EvSend),
+	}
+	m := Merge(a)
+	want := []meter.Type{meter.EvRecvCall, meter.EvRecv, meter.EvSend}
+	for i, w := range want {
+		if m[i].Type != w {
+			t.Fatalf("event %d = %v, want %v", i, m[i].Type, w)
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if got := Merge(); got != nil {
+		t.Fatalf("Merge() = %v", got)
+	}
+	if got := Merge(nil, nil); got != nil {
+		t.Fatalf("Merge(nil,nil) = %v", got)
+	}
+}
+
+func TestMergeProperty(t *testing.T) {
+	f := func(timesA, timesB []uint16) bool {
+		var a, b []Event
+		for _, tt := range timesA {
+			a = append(a, ev(1, 10, int64(tt), meter.EvSend))
+		}
+		for _, tt := range timesB {
+			b = append(b, ev(2, 20, int64(tt), meter.EvRecv))
+		}
+		// Per-process inputs must be clock-sorted for the invariant
+		// to be meaningful (machine clocks are monotonic); number
+		// them in that order.
+		sortByTime(a)
+		sortByTime(b)
+		for i := range a {
+			a[i].Fields["idx"] = uint64(i)
+		}
+		m := Merge(a, b)
+		if len(m) != len(a)+len(b) {
+			return false
+		}
+		// Global clock order and per-process relative order hold.
+		var lastT int64 = -1
+		var lastAIdx int64 = -1
+		for _, e := range m {
+			if e.CPUTime < lastT {
+				return false
+			}
+			lastT = e.CPUTime
+			if e.Machine == 1 {
+				idx := int64(e.Fields["idx"])
+				if idx < lastAIdx {
+					return false
+				}
+				lastAIdx = idx
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortByTime(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].CPUTime < evs[j-1].CPUTime; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+const sampleLog = `SEND machine=1 cpuTime=120 procTime=10 pid=7 pc=4 sock=260 msgLength=512 destNameLen=16 destName=inet:2:6100
+RECEIVECALL machine=2 cpuTime=130 procTime=0 pid=9 pc=8 sock=300
+RECEIVE machine=2 cpuTime=131 procTime=0 pid=9 pc=12 sock=300 msgLength=512 sourceNameLen=16 sourceName=inet:1:1024
+ACCEPT machine=2 cpuTime=90 procTime=0 pid=9 pc=4 sock=290 newSock=300 sockNameLen=16 peerNameLen=0 sockName=unix:/tmp/s peerName=-
+TERMPROC machine=1 cpuTime=200 procTime=20 pid=7 pc=16 status=0
+`
+
+func TestParseLog(t *testing.T) {
+	events, err := ParseLog([]byte(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("parsed %d events", len(events))
+	}
+	e := events[0]
+	if e.Type != meter.EvSend || e.Machine != 1 || e.CPUTime != 120 || e.ProcTime != 10 {
+		t.Fatalf("send header = %+v", e)
+	}
+	if e.PID() != 7 || e.Sock() != 260 || e.MsgLength() != 512 {
+		t.Fatalf("send fields = %+v", e.Fields)
+	}
+	want := meter.InetName(2, 6100)
+	if e.Name("destName") != want {
+		t.Fatalf("destName = %v", e.Name("destName"))
+	}
+	if events[3].Name("peerName") != (meter.Name{}) {
+		t.Fatalf("dash name should be zero, got %v", events[3].Name("peerName"))
+	}
+	if events[4].Type != meter.EvTermProc || events[4].Fields["status"] != 0 {
+		t.Fatalf("termproc = %+v", events[4])
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("Seq of event %d = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestParseLogErrors(t *testing.T) {
+	cases := []string{
+		"BOGUS machine=1\n",
+		"SEND machine=x\n",
+		"SEND machine=1 noequals\n",
+		"SEND machine=1 pid=notanumber\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseLog([]byte(c)); err == nil {
+			t.Errorf("ParseLog(%q) succeeded", c)
+		}
+	}
+}
+
+func TestParseLogSkipsBlankLines(t *testing.T) {
+	events, err := ParseLog([]byte("\n\nFORK machine=1 cpuTime=0 procTime=0 pid=1 pc=4 newPid=2\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Type != meter.EvFork {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestParseBinary(t *testing.T) {
+	var stream []byte
+	bodies := []meter.Body{
+		&meter.Send{PID: 1, PC: 2, Sock: 3, MsgLength: 64, DestNameLen: 16, DestName: meter.InetName(9, 10)},
+		&meter.Fork{PID: 1, PC: 4, NewPID: 2},
+	}
+	for _, b := range bodies {
+		m := meter.Msg{Header: meter.Header{Machine: 4, CPUTime: 55, ProcTime: 10}, Body: b}
+		stream = m.AppendEncode(stream)
+	}
+	events, err := ParseBinary(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Machine != 4 || events[0].MsgLength() != 64 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[0].Name("destName") != meter.InetName(9, 10) {
+		t.Fatalf("destName = %v", events[0].Name("destName"))
+	}
+	if events[1].Fields["newPid"] != 2 {
+		t.Fatalf("newPid = %d", events[1].Fields["newPid"])
+	}
+}
+
+func TestParseBinaryTrailing(t *testing.T) {
+	m := meter.Msg{Header: meter.Header{}, Body: &meter.Fork{}}
+	stream := append(m.Encode(), 0x01, 0x02)
+	if _, err := ParseBinary(stream); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	events, err := ParseLog([]byte(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relogged strings.Builder
+	for i := range events {
+		relogged.WriteString(events[i].Format())
+		relogged.WriteByte('\n')
+	}
+	again, err := ParseLog([]byte(relogged.String()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\nlog:\n%s", err, relogged.String())
+	}
+	if len(again) != len(events) {
+		t.Fatalf("round trip changed count: %d != %d", len(again), len(events))
+	}
+	for i := range events {
+		a, b := events[i], again[i]
+		if a.Type != b.Type || a.Machine != b.Machine || a.CPUTime != b.CPUTime || a.ProcTime != b.ProcTime {
+			t.Fatalf("event %d header changed: %+v != %+v", i, a, b)
+		}
+		for k, v := range a.Fields {
+			if b.Fields[k] != v {
+				t.Fatalf("event %d field %s: %d != %d", i, k, v, b.Fields[k])
+			}
+		}
+		for k, v := range a.Names {
+			if b.Names[k] != v {
+				t.Fatalf("event %d name %s: %v != %v", i, k, v, b.Names[k])
+			}
+		}
+	}
+}
+
+func TestBinaryAndLogAgree(t *testing.T) {
+	// The same message parsed from binary and from its formatted log
+	// line must agree field for field.
+	m := meter.Msg{
+		Header: meter.Header{Machine: 3, CPUTime: 77, ProcTime: 20},
+		Body:   &meter.Accept{PID: 5, PC: 6, Sock: 7, NewSock: 8, SockNameLen: 16, PeerNameLen: 16, SockName: meter.UnixName("/tmp/a"), PeerName: meter.InetName(1, 2)},
+	}
+	bin, err := ParseBinary(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logEvents, err := ParseLog([]byte(bin[0].Format() + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := bin[0], logEvents[0]
+	if a.Type != b.Type || a.Machine != b.Machine {
+		t.Fatalf("headers differ: %+v vs %+v", a, b)
+	}
+	for k, v := range a.Names {
+		if b.Names[k] != v {
+			t.Fatalf("name %s differs: %v vs %v", k, v, b.Names[k])
+		}
+	}
+}

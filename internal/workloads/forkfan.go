@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"time"
+
+	"dpm/internal/core"
+	"dpm/internal/kernel"
+)
+
+// ForkFanMain exercises the process-creation side of the paper's
+// model: a parent forks k children (args: k), each of which inherits
+// the parent's sockets and metering (sections 3.1–3.2), does a little
+// work over a socketpair shared with the parent, and reports back.
+// The trace shows fork events chaining into the children's own events
+// — the inheritance the paper's Appendix C specifies.
+func ForkFanMain(p *kernel.Process) int {
+	k := argInt(p.Args(), 0, 3)
+	fd1, fd2, err := p.SocketPair()
+	if err != nil {
+		return 1
+	}
+	for i := 0; i < k; i++ {
+		if _, err := p.Fork(func(c *kernel.Process) int {
+			c.Compute(2 * time.Millisecond)
+			if _, err := c.Send(fd2, []byte("done")); err != nil {
+				return 1
+			}
+			return 0
+		}); err != nil {
+			return 1
+		}
+	}
+	// Collect one report per child through the shared socketpair.
+	for got := 0; got < k; {
+		data, err := p.Recv(fd1, 4*k)
+		if err != nil {
+			return 1
+		}
+		got += len(data) / 4
+	}
+	return 0
+}
+
+// RegisterForkFan installs the fork-fan program on every machine.
+func RegisterForkFan(s *core.System) error {
+	return s.RegisterWorkload("forkfan", ForkFanMain)
+}

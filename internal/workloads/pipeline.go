@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"dpm/internal/core"
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+)
+
+// PipeBasePort is the base port of pipeline stages: stage i listens on
+// PipeBasePort+i.
+const PipeBasePort = 7700
+
+// PipeStageMain is one stage of a multi-machine pipeline — the shape
+// of asynchronous distributed program whose performance problems the
+// paper's introduction motivates. Items flow stage 1 → stage 2 → …;
+// each stage charges its per-item cost and forwards. A slow stage
+// starves everything downstream, which the monitor exposes through the
+// waiting profile (receivecall→receive gaps) without touching the
+// program.
+//
+// args: stage index (1-based), stage count, next stage's machine
+// (empty for the last stage), item count, per-item cost in ms.
+func PipeStageMain(p *kernel.Process) int {
+	args := p.Args()
+	stage := argInt(args, 0, 1)
+	stages := argInt(args, 1, 1)
+	next := ""
+	if len(args) > 2 {
+		next = args[2]
+	}
+	items := argInt(args, 3, 10)
+	costMs := argInt(args, 4, 1)
+
+	// Every stage but the first receives from upstream.
+	var in *msgReader
+	if stage > 1 {
+		lfd, err := p.Socket(meter.AFInet, kernel.SockStream)
+		if err != nil {
+			return 1
+		}
+		if err := p.BindPort(lfd, uint16(PipeBasePort+stage)); err != nil {
+			return 1
+		}
+		if err := p.Listen(lfd, 1); err != nil {
+			return 1
+		}
+		cfd, _, err := p.Accept(lfd)
+		if err != nil {
+			return 1
+		}
+		in = newMsgReader(p, cfd)
+	}
+	// Every stage but the last sends downstream.
+	out := -1
+	if stage < stages {
+		fd, err := connectRetry(p, next, uint16(PipeBasePort+stage+1))
+		if err != nil {
+			return 1
+		}
+		out = fd
+	}
+
+	for i := 0; i < items; i++ {
+		var item []byte
+		if in != nil {
+			data, err := in.read()
+			if err != nil {
+				return 1
+			}
+			item = data
+		} else {
+			item = []byte(fmt.Sprintf("item %03d", i))
+		}
+		p.Compute(time.Duration(costMs) * time.Millisecond)
+		if out >= 0 {
+			if err := writeMsg(p, out, item); err != nil {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// RegisterPipeline installs the pipeline stage program.
+func RegisterPipeline(s *core.System) error {
+	return s.RegisterWorkload("pipestage", PipeStageMain)
+}

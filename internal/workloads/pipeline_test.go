@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dpm/internal/analysis"
+	"dpm/internal/core"
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+	"dpm/internal/trace"
+)
+
+func TestPipelineBottleneckVisibleInWaitingProfile(t *testing.T) {
+	// Three stages on three machines; stage 2 is 5× slower per item.
+	// The monitor must reveal the bottleneck: stage 3 spends most of
+	// its time blocked waiting for stage 2, while stage 2 hardly waits
+	// (stage 1 outruns it). Compute is wall-paced so the stages
+	// actually interleave.
+	sys, err := core.NewSystem(core.Config{Kernel: kernel.Config{ComputeWallScale: 0.02}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Shutdown)
+	s := sys
+	if err := RegisterPipeline(s); err != nil {
+		t.Fatal(err)
+	}
+	w := &out{}
+	ctl, err := s.NewController("yellow", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 10
+	ctl.Exec("filter f blue")
+	ctl.Exec("newjob pipe")
+	ctl.Exec("setflags pipe send receivecall receive termproc")
+	// Add downstream first so listeners exist early (connectRetry
+	// covers the race regardless).
+	ctl.Exec(fmt.Sprintf("addprocess pipe blue pipestage 3 3 - %d 2", items))
+	ctl.Exec(fmt.Sprintf("addprocess pipe green pipestage 2 3 blue %d 10", items))
+	ctl.Exec(fmt.Sprintf("addprocess pipe red pipestage 1 3 green %d 2", items))
+	ctl.Exec("startjob pipe")
+	waitJob(t, ctl, "pipe")
+
+	events, err := s.WaitTrace("blue", "f", 10*time.Second, func(evs []trace.Event) bool {
+		term := 0
+		for _, e := range evs {
+			if e.Type == meter.EvTermProc {
+				term++
+			}
+		}
+		return term >= 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identify the stages by machine id (red=1, green=2, blue=3).
+	waits := analysis.WaitingProfile(events)
+	var stage2, stage3 *analysis.ProcWaiting
+	for k, w := range waits {
+		switch k.Machine {
+		case 2:
+			stage2 = w
+		case 3:
+			stage3 = w
+		}
+	}
+	if stage2 == nil || stage3 == nil {
+		t.Fatalf("profiles missing: %v", waits)
+	}
+	if stage3.BlockedMillis <= stage2.BlockedMillis {
+		t.Fatalf("bottleneck not visible: stage3 blocked %dms, stage2 blocked %dms",
+			stage3.BlockedMillis, stage2.BlockedMillis)
+	}
+	// The slow stage accumulates the most CPU.
+	par := analysis.MeasureParallelism(events)
+	if par.Processes != 3 {
+		t.Fatalf("processes = %d", par.Processes)
+	}
+	var cpuByMachine [4]int64
+	for _, e := range events {
+		if e.Machine >= 1 && e.Machine <= 3 && e.ProcTime > cpuByMachine[e.Machine] {
+			cpuByMachine[e.Machine] = e.ProcTime
+		}
+	}
+	if !(cpuByMachine[2] > cpuByMachine[1] && cpuByMachine[2] > cpuByMachine[3]) {
+		t.Fatalf("stage CPU = %v; stage 2 should dominate", cpuByMachine[1:])
+	}
+	// Every item flowed end to end.
+	st := analysis.Comm(events)
+	if st.Sends != 2*items {
+		t.Fatalf("sends = %d, want %d", st.Sends, 2*items)
+	}
+}

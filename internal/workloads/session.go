@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dpm/internal/core"
+	"dpm/internal/fsys"
+	"dpm/internal/trace"
+)
+
+// AppendixBScript is the command sequence of the paper's Appendix B
+// example session (rmjob is the appendix's alias for removejob; bye
+// for die).
+var AppendixBScript = []string{
+	"filter f1 blue",
+	"newjob foo",
+	"addprocess foo red A green",
+	"addprocess foo green B",
+	"setflags foo send receive fork accept connect",
+	"startjob foo",
+	"rmjob foo",
+	"getlog f1 trace",
+	"bye",
+}
+
+// RunAppendixBSession replays the Appendix B session on a fresh
+// system, writing the transcript to out, and returns the retrieved
+// trace file contents. Between startjob and rmjob it waits for the
+// job to complete and the trace to land, as the appendix's user did by
+// watching the DONE notices.
+func RunAppendixBSession(out io.Writer) (string, error) {
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		return "", err
+	}
+	defer sys.Shutdown()
+	sys.Cluster.RegisterProgram("progA", PingerMain)
+	sys.Cluster.RegisterProgram("progB", PongerMain)
+	for _, mn := range []string{"red", "green"} {
+		m, err := sys.Machine(mn)
+		if err != nil {
+			return "", err
+		}
+		if err := m.FS().CreateExecutable("/bin/A", sys.UID, "progA"); err != nil {
+			return "", err
+		}
+		if err := m.FS().CreateExecutable("/bin/B", sys.UID, "progB"); err != nil {
+			return "", err
+		}
+	}
+	ctl, err := sys.NewController("yellow", out)
+	if err != nil {
+		return "", err
+	}
+	for _, cmd := range AppendixBScript {
+		if strings.HasPrefix(cmd, "rmjob") {
+			if err := core.WaitJob(ctl, "foo", time.Minute); err != nil {
+				return "", err
+			}
+			if _, err := sys.WaitTrace("blue", "f1", 10*time.Second, func(evs []trace.Event) bool {
+				return len(evs) >= 4
+			}); err != nil {
+				return "", err
+			}
+		}
+		fmt.Fprintf(out, "<Control> %s\n", cmd)
+		ctl.Exec(cmd)
+	}
+	yellow, err := sys.Machine("yellow")
+	if err != nil {
+		return "", err
+	}
+	data, err := yellow.FS().Read("/usr/trace", fsys.Superuser)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

@@ -1,0 +1,42 @@
+package workloads
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestRunAppendixBSession(t *testing.T) {
+	w := &out{}
+	traceData, err := RunAppendixBSession(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transcript := w.String()
+	for _, pat := range []string{
+		`<Control> filter f1 blue`,
+		`filter 'f1' \.\.\. created: identifier = \d+`,
+		`<Control> newjob foo`,
+		`process 'A' \.\.\. created`,
+		`process 'B' \.\.\. created`,
+		`new job flags = fork send receive accept connect`,
+		`'A' started\.`,
+		`DONE: process A in job 'foo' terminated: reason: normal`,
+		`'B' removed`,
+		`<Control> bye`,
+	} {
+		if !regexp.MustCompile(pat).MatchString(transcript) {
+			t.Errorf("transcript lacks %q:\n%s", pat, transcript)
+		}
+	}
+	// The retrieved trace holds the session's communication events.
+	for _, ev := range []string{"CONNECT", "ACCEPT", "SEND", "RECEIVE"} {
+		if !strings.Contains(traceData, ev+" ") {
+			t.Errorf("trace lacks %s:\n%s", ev, traceData)
+		}
+	}
+	// Only the flagged events appear.
+	if strings.Contains(traceData, "SOCKET ") || strings.Contains(traceData, "TERMPROC ") {
+		t.Errorf("unflagged events in trace:\n%s", traceData)
+	}
+}

@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"dpm/internal/core"
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+)
+
+// StormPort is the catcher's well-known port.
+const StormPort = 7600
+
+// BlasterMain fires datagrams at a catcher without acknowledgement —
+// exactly the traffic whose delivery "is not guaranteed, though it is
+// likely" (section 3.1). args: catcher machine, datagram count.
+func BlasterMain(p *kernel.Process) int {
+	args := p.Args()
+	dest := "green"
+	if len(args) > 0 && args[0] != "" {
+		dest = args[0]
+	}
+	count := argInt(args, 1, 50)
+	hostID, _, err := p.Machine().Cluster().ResolveFrom(p.Machine(), dest)
+	if err != nil {
+		return 1
+	}
+	name := meter.InetName(hostID, StormPort)
+	fd, err := p.Socket(meter.AFInet, kernel.SockDgram)
+	if err != nil {
+		return 1
+	}
+	if err := p.BindPort(fd, 0); err != nil {
+		return 1
+	}
+	for i := 0; i < count; i++ {
+		p.Compute(time.Millisecond)
+		if _, err := p.SendTo(fd, []byte(fmt.Sprintf("dgram %04d", i)), name); err != nil {
+			return 1
+		}
+	}
+	return 0
+}
+
+// CatcherMain receives datagrams until it is killed (the controller
+// stops and removes it once the blaster is done).
+func CatcherMain(p *kernel.Process) int {
+	fd, err := p.Socket(meter.AFInet, kernel.SockDgram)
+	if err != nil {
+		return 1
+	}
+	if err := p.BindPort(fd, StormPort); err != nil {
+		return 1
+	}
+	for {
+		if _, _, err := p.RecvFrom(fd, 4096); err != nil {
+			return 0
+		}
+	}
+}
+
+// RegisterStorm installs the blaster and catcher programs.
+func RegisterStorm(s *core.System) error {
+	if err := s.RegisterWorkload("blaster", BlasterMain); err != nil {
+		return err
+	}
+	return s.RegisterWorkload("catcher", CatcherMain)
+}

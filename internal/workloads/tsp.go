@@ -1,0 +1,323 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpm/internal/core"
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+)
+
+// This file implements the distributed traveling-salesman computation
+// the paper reports as the tool's initial experience: "A multiprocess
+// computation was developed and debugged using the tool, which led to
+// substantial modifications of the program resulting in substantial
+// improvements of its performance" (section 5, citing Lai & Miller
+// 84). A master process distributes first-level branches of the
+// branch-and-bound search to worker processes on other machines over
+// stream connections.
+
+// TSPPort is the master's well-known port.
+const TSPPort = 7100
+
+// TSPInstance is a symmetric TSP instance with integer distances.
+type TSPInstance struct {
+	N    int
+	Dist [][]int
+}
+
+// NewTSPInstance generates a random Euclidean instance from a seed.
+func NewTSPInstance(n int, seed int64) *TSPInstance {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]int, n)
+	ys := make([]int, n)
+	for i := range xs {
+		xs[i] = rng.Intn(1000)
+		ys[i] = rng.Intn(1000)
+	}
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		for j := range d[i] {
+			dx, dy := float64(xs[i]-xs[j]), float64(ys[i]-ys[j])
+			d[i][j] = int(math.Sqrt(dx*dx + dy*dy))
+		}
+	}
+	return &TSPInstance{N: n, Dist: d}
+}
+
+// TourCost returns the cost of a complete tour (returning to the
+// start); it panics on malformed tours, which only tests construct.
+func (t *TSPInstance) TourCost(tour []int) int {
+	cost := 0
+	for i := 0; i < len(tour); i++ {
+		cost += t.Dist[tour[i]][tour[(i+1)%len(tour)]]
+	}
+	return cost
+}
+
+// NoTour is the cost reported when no tour under the bound exists.
+const NoTour = math.MaxInt32
+
+// BranchAndBound finds the best tour extending prefix with cost
+// strictly under bound. It returns the best cost (NoTour if none),
+// the tour, and the number of search nodes explored.
+func BranchAndBound(t *TSPInstance, prefix []int, bound int) (int, []int, int) {
+	visited := make([]bool, t.N)
+	cost := 0
+	for i, c := range prefix {
+		visited[c] = true
+		if i > 0 {
+			cost += t.Dist[prefix[i-1]][c]
+		}
+	}
+	best := bound
+	var bestTour []int
+	nodes := 0
+	cur := append([]int(nil), prefix...)
+	var dfs func(last, cost int)
+	dfs = func(last, cost int) {
+		nodes++
+		if cost >= best {
+			return
+		}
+		if len(cur) == t.N {
+			total := cost + t.Dist[last][cur[0]]
+			if total < best {
+				best = total
+				bestTour = append([]int(nil), cur...)
+			}
+			return
+		}
+		for next := 0; next < t.N; next++ {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			cur = append(cur, next)
+			dfs(next, cost+t.Dist[last][next])
+			cur = cur[:len(cur)-1]
+			visited[next] = false
+		}
+	}
+	dfs(prefix[len(prefix)-1], cost)
+	if bestTour == nil {
+		return NoTour, nil, nodes
+	}
+	return best, bestTour, nodes
+}
+
+// SolveSequential solves the whole instance on one process, the
+// baseline against which the distributed version's parallelism is
+// measured.
+func SolveSequential(t *TSPInstance) (int, []int, int) {
+	return BranchAndBound(t, []int{0}, NoTour)
+}
+
+// Wire encoding helpers: the master ships the distance matrix once,
+// then branch assignments; workers reply with results.
+
+func encodeMatrix(t *TSPInstance) []byte {
+	parts := []string{"matrix", strconv.Itoa(t.N)}
+	for _, row := range t.Dist {
+		for _, v := range row {
+			parts = append(parts, strconv.Itoa(v))
+		}
+	}
+	return []byte(strings.Join(parts, " "))
+}
+
+func decodeMatrix(data []byte) (*TSPInstance, error) {
+	parts := strings.Fields(string(data))
+	if len(parts) < 2 || parts[0] != "matrix" {
+		return nil, fmt.Errorf("workloads: bad matrix message")
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || len(parts) != 2+n*n {
+		return nil, fmt.Errorf("workloads: bad matrix size")
+	}
+	t := &TSPInstance{N: n, Dist: make([][]int, n)}
+	idx := 2
+	for i := 0; i < n; i++ {
+		t.Dist[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			t.Dist[i][j], err = strconv.Atoi(parts[idx])
+			if err != nil {
+				return nil, fmt.Errorf("workloads: bad distance")
+			}
+			idx++
+		}
+	}
+	return t, nil
+}
+
+// TSPMasterMain coordinates the computation. args: nCities, nWorkers,
+// seed. It prints the best tour to standard output (which the daemon
+// gateway forwards to the controller).
+func TSPMasterMain(p *kernel.Process) int {
+	args := p.Args()
+	n := argInt(args, 0, 10)
+	workers := argInt(args, 1, 2)
+	seed := int64(argInt(args, 2, 1))
+	inst := NewTSPInstance(n, seed)
+
+	lfd, err := p.Socket(meter.AFInet, kernel.SockStream)
+	if err != nil {
+		return 1
+	}
+	if err := p.BindPort(lfd, TSPPort); err != nil {
+		return 1
+	}
+	if err := p.Listen(lfd, workers); err != nil {
+		return 1
+	}
+	conns := make([]int, 0, workers)
+	readers := make(map[int]*msgReader, workers)
+	for len(conns) < workers {
+		fd, _, err := p.Accept(lfd)
+		if err != nil {
+			return 1
+		}
+		if err := writeMsg(p, fd, encodeMatrix(inst)); err != nil {
+			return 1
+		}
+		conns = append(conns, fd)
+		readers[fd] = newMsgReader(p, fd)
+	}
+
+	// Work queue: one branch per choice of second city.
+	pending := make([]int, 0, n-1)
+	for j := 1; j < n; j++ {
+		pending = append(pending, j)
+	}
+	best := NoTour
+	var bestTour []int
+	busy := make(map[int]bool) // conn fd -> has outstanding work
+	outstanding := 0
+	assign := func(fd int) bool {
+		if len(pending) == 0 {
+			return false
+		}
+		j := pending[0]
+		pending = pending[1:]
+		if err := writeMsg(p, fd, []byte(fmt.Sprintf("branch %d %d", j, best))); err != nil {
+			return false
+		}
+		busy[fd] = true
+		outstanding++
+		return true
+	}
+	for _, fd := range conns {
+		assign(fd)
+	}
+	for outstanding > 0 {
+		ready, err := p.Select(conns)
+		if err != nil {
+			return 1
+		}
+		for _, fd := range ready {
+			if !busy[fd] {
+				continue
+			}
+			data, err := readers[fd].read()
+			if err != nil {
+				return 1
+			}
+			busy[fd] = false
+			outstanding--
+			var j, cost int
+			fields := strings.Fields(string(data))
+			if len(fields) < 3 || fields[0] != "result" {
+				return 1
+			}
+			j, _ = strconv.Atoi(fields[1])
+			cost, _ = strconv.Atoi(fields[2])
+			_ = j
+			if cost < best {
+				best = cost
+				bestTour = nil
+				for _, f := range fields[3:] {
+					c, _ := strconv.Atoi(f)
+					bestTour = append(bestTour, c)
+				}
+			}
+			assign(fd)
+		}
+	}
+	for _, fd := range conns {
+		if err := writeMsg(p, fd, []byte("quit")); err != nil {
+			return 1
+		}
+	}
+	p.Printf("tsp best cost=%d tour=%v\n", best, bestTour)
+	if best == NoTour {
+		return 1
+	}
+	return 0
+}
+
+// TSPWorkerMain solves assigned branches. args: master machine.
+func TSPWorkerMain(p *kernel.Process) int {
+	args := p.Args()
+	master := "red"
+	if len(args) > 0 && args[0] != "" {
+		master = args[0]
+	}
+	fd, err := connectRetry(p, master, TSPPort)
+	if err != nil {
+		return 1
+	}
+	r := newMsgReader(p, fd)
+	data, err := r.read()
+	if err != nil {
+		return 1
+	}
+	inst, err := decodeMatrix(data)
+	if err != nil {
+		return 1
+	}
+	for {
+		msg, err := r.read()
+		if err != nil {
+			return 1
+		}
+		fields := strings.Fields(string(msg))
+		switch fields[0] {
+		case "quit":
+			return 0
+		case "branch":
+			if len(fields) != 3 {
+				return 1
+			}
+			j, _ := strconv.Atoi(fields[1])
+			bound, _ := strconv.Atoi(fields[2])
+			cost, tour, nodes := BranchAndBound(inst, []int{0, j}, bound)
+			// Model the search's CPU consumption so the parallelism
+			// analysis sees real work.
+			p.Compute(time.Duration(nodes) * time.Microsecond)
+			reply := []string{"result", strconv.Itoa(j), strconv.Itoa(cost)}
+			for _, c := range tour {
+				reply = append(reply, strconv.Itoa(c))
+			}
+			if err := writeMsg(p, fd, []byte(strings.Join(reply, " "))); err != nil {
+				return 1
+			}
+		default:
+			return 1
+		}
+	}
+}
+
+// RegisterTSP installs the master and worker programs on every
+// machine.
+func RegisterTSP(s *core.System) error {
+	if err := s.RegisterWorkload("tspmaster", TSPMasterMain); err != nil {
+		return err
+	}
+	return s.RegisterWorkload("tspworker", TSPWorkerMain)
+}

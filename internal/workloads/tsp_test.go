@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+)
+
+// permutations enumerates tours for the brute-force reference.
+func permute(cities []int, f func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(cities) {
+			f(cities)
+			return
+		}
+		for i := k; i < len(cities); i++ {
+			cities[k], cities[i] = cities[i], cities[k]
+			rec(k + 1)
+			cities[k], cities[i] = cities[i], cities[k]
+		}
+	}
+	rec(0)
+}
+
+func bruteForce(t *TSPInstance) (int, []int) {
+	rest := make([]int, 0, t.N-1)
+	for c := 1; c < t.N; c++ {
+		rest = append(rest, c)
+	}
+	best := NoTour
+	var bestTour []int
+	permute(rest, func(p []int) {
+		tour := append([]int{0}, p...)
+		if c := t.TourCost(tour); c < best {
+			best = c
+			bestTour = append([]int(nil), tour...)
+		}
+	})
+	return best, bestTour
+}
+
+func TestBranchAndBoundMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		inst := NewTSPInstance(8, seed)
+		wantCost, _ := bruteForce(inst)
+		gotCost, gotTour, nodes := SolveSequential(inst)
+		if gotCost != wantCost {
+			t.Fatalf("seed %d: cost %d, want %d", seed, gotCost, wantCost)
+		}
+		if c := inst.TourCost(gotTour); c != gotCost {
+			t.Fatalf("seed %d: reported cost %d but tour costs %d", seed, gotCost, c)
+		}
+		if nodes <= 0 {
+			t.Fatalf("seed %d: nodes = %d", seed, nodes)
+		}
+	}
+}
+
+func TestBranchAndBoundRespectsBound(t *testing.T) {
+	inst := NewTSPInstance(8, 3)
+	optimal, _, _ := SolveSequential(inst)
+	// A bound at the optimum: no tour strictly better exists.
+	cost, tour, _ := BranchAndBound(inst, []int{0}, optimal)
+	if cost != NoTour || tour != nil {
+		t.Fatalf("bound=optimal returned cost %d", cost)
+	}
+	// A bound above the optimum finds it.
+	cost, _, _ = BranchAndBound(inst, []int{0}, optimal+1)
+	if cost != optimal {
+		t.Fatalf("bound=optimal+1 returned %d, want %d", cost, optimal)
+	}
+}
+
+func TestBranchesCoverSearchSpace(t *testing.T) {
+	// The master's decomposition: best over all second-city branches
+	// equals the sequential optimum.
+	inst := NewTSPInstance(9, 7)
+	optimal, _, _ := SolveSequential(inst)
+	best := NoTour
+	for j := 1; j < inst.N; j++ {
+		if c, _, _ := BranchAndBound(inst, []int{0, j}, best); c < best {
+			best = c
+		}
+	}
+	if best != optimal {
+		t.Fatalf("branched best %d != sequential %d", best, optimal)
+	}
+}
+
+func TestInstanceDeterministic(t *testing.T) {
+	a, b := NewTSPInstance(10, 42), NewTSPInstance(10, 42)
+	if !reflect.DeepEqual(a.Dist, b.Dist) {
+		t.Fatal("same seed produced different instances")
+	}
+	c := NewTSPInstance(10, 43)
+	if reflect.DeepEqual(a.Dist, c.Dist) {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestInstanceSymmetricZeroDiagonal(t *testing.T) {
+	inst := NewTSPInstance(12, 5)
+	for i := 0; i < inst.N; i++ {
+		if inst.Dist[i][i] != 0 {
+			t.Fatalf("Dist[%d][%d] = %d", i, i, inst.Dist[i][i])
+		}
+		for j := 0; j < inst.N; j++ {
+			if inst.Dist[i][j] != inst.Dist[j][i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixCodec(t *testing.T) {
+	inst := NewTSPInstance(6, 9)
+	got, err := decodeMatrix(encodeMatrix(inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Dist, inst.Dist) {
+		t.Fatal("matrix round trip mismatch")
+	}
+}
+
+func TestMatrixCodecErrors(t *testing.T) {
+	for _, s := range []string{"", "matrix", "matrix 2 1 2 3", "notmatrix 1 0", "matrix x"} {
+		if _, err := decodeMatrix([]byte(s)); err == nil {
+			t.Errorf("decodeMatrix(%q) succeeded", s)
+		}
+	}
+}
