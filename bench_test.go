@@ -308,6 +308,48 @@ func BenchmarkDaemonExchange(b *testing.B) {
 	}
 }
 
+// BenchmarkDaemonExchangeFaultFree is BenchmarkDaemonExchange through
+// the hardened path: ExchangeRetry with the default retry policy on a
+// healthy fabric. Comparing the two shows what the per-request
+// deadline, backoff machinery, and idempotency plumbing cost when
+// nothing goes wrong — the answer should be "nothing measurable",
+// since the fault-free path takes no retries and arms one timer.
+func BenchmarkDaemonExchangeFaultFree(b *testing.B) {
+	c := kernel.NewCluster(kernel.Config{})
+	c.AddNetwork("ether0")
+	red, err := c.AddMachine("red", nil, "ether0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	yellow, err := c.AddMachine("yellow", nil, "ether0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	red.AddAccount(benchUID, "user")
+	yellow.AddAccount(benchUID, "user")
+	b.Cleanup(c.Shutdown)
+	if _, err := daemon.Install(c, red); err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := yellow.SpawnDetached(benchUID, "ctl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := red.SpawnDetached(benchUID, "target")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := (&daemon.ProcReq{Type: daemon.TSetFlagsReq, PID: target.PID(), UID: benchUID, Flags: uint32(meter.MSend)}).Wire()
+	rp := daemon.DefaultRetryPolicy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := daemon.ExchangeRetry(ctl, "red", req, rp)
+		if err != nil || !rep.OK() {
+			b.Fatalf("exchange: %v %+v", err, rep)
+		}
+	}
+}
+
 func BenchmarkStreamRoundTrip(b *testing.B) {
 	// The established-connection baseline for C3: a request/reply pair
 	// over one long-lived stream, served by an echo process.

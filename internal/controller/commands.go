@@ -28,6 +28,7 @@ func (c *Controller) cmdHelp() {
   removejob name                                     remove a completed job
   removeprocess name machine pid                     remove one process
   jobs [name...]                                     show job status
+  status                                             show per-machine reachability
   ps machine                                         list a machine's processes
   stdin jobname machine pid word...                  send input to a process
   getlog filtername destfile                         retrieve a filter's trace log
@@ -90,6 +91,7 @@ func (c *Controller) cmdFilter(args []string) {
 		ControlPort: c.notifyPort,
 		ControlHost: c.machine.Name(),
 		UID:         c.uid,
+		Token:       c.newToken(),
 	}
 	rep, err := c.exchange(machineName, req.Wire())
 	if err != nil {
@@ -193,6 +195,7 @@ func (c *Controller) cmdAddProcess(args []string) {
 		ControlPort: c.notifyPort,
 		ControlHost: c.machine.Name(),
 		UID:         c.uid,
+		Token:       c.newToken(),
 	}
 	rep, err := c.exchange(machineName, req.Wire())
 	if err != nil {
@@ -378,12 +381,14 @@ func (c *Controller) cmdStopJob(args []string) {
 // removeProc performs the per-process half of removejob: stopped
 // processes are killed (stopped→killed is a legal Figure 4.2 edge),
 // acquired processes have their filter connection taken down but
-// continue to execute.
+// continue to execute. A lost process gets a best-effort kill: if its
+// machine answers, the process returns to a known (killed) state; if
+// not, it stays lost and the removal fails.
 func (c *Controller) removeProc(p *JobProc) bool {
 	switch p.State {
 	case StateKilled:
 		return true
-	case StateStopped:
+	case StateStopped, StateLost:
 		req := &daemon.ProcReq{Type: daemon.TKillReq, PID: p.PID, UID: c.uid}
 		rep, err := c.exchange(p.Machine, req.Wire())
 		if err != nil || !rep.OK() {
@@ -430,12 +435,21 @@ func (c *Controller) cmdRemoveJob(args []string) {
 			return
 		}
 	}
+	allRemoved := true
 	for _, p := range procs {
 		if c.removeProc(p) {
 			c.printf("'%s' removed\n", p.Name)
 		} else {
 			c.printf("'%s' not removed\n", p.Name)
+			allRemoved = false
 		}
+	}
+	// Keep the job while any process resisted removal (a lost process
+	// on an unreachable machine, say) — deleting it would orphan the
+	// controller's only record of that process.
+	if !allRemoved {
+		c.printf("job '%s' not removed\n", jobName)
+		return
 	}
 	c.mu.Lock()
 	delete(c.jobs, jobName)
@@ -496,15 +510,38 @@ func (c *Controller) cmdRemoveProcess(args []string) {
 	c.printf("'%s' removed\n", target.Name)
 }
 
+// jobTrouble lists the unreachable machines a job depends on — its
+// processes' machines plus its filter's. Callers hold c.mu.
+func (c *Controller) jobTrouble(j *Job) []string {
+	var out []string
+	seen := map[string]bool{}
+	note := func(m string) {
+		if c.unreachable[m] && !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	note(j.Filter.Machine)
+	for _, p := range j.Procs {
+		note(p.Machine)
+	}
+	return out
+}
+
 func (c *Controller) cmdJobs(args []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(args) == 0 {
 		// "a list of the current jobs ... the number, the name, and
-		// the filter for each job."
+		// the filter for each job." A job touching an unreachable
+		// machine is flagged degraded.
 		for i, n := range c.jobOrder {
 			j := c.jobs[n]
-			fmt.Fprintf(c.sink, "%d '%s' filter '%s'\n", i+1, j.Name, j.Filter.Name)
+			tag := ""
+			if len(c.jobTrouble(j)) > 0 {
+				tag = " [degraded]"
+			}
+			fmt.Fprintf(c.sink, "%d '%s' filter '%s'%s\n", i+1, j.Name, j.Filter.Name, tag)
 		}
 		return
 	}
@@ -518,6 +555,30 @@ func (c *Controller) cmdJobs(args []string) {
 		for _, p := range j.Procs {
 			fmt.Fprintf(c.sink, "  %d %s '%s' on %s flags = %s\n",
 				p.PID, p.State, p.Name, p.Machine, strings.Join(p.Flags.FlagNames(), " "))
+		}
+		for _, m := range c.jobTrouble(j) {
+			fmt.Fprintf(c.sink, "  degraded: machine %s unreachable\n", m)
+		}
+	}
+}
+
+// cmdStatus probes each machine's meterdaemon and reports per-machine
+// reachability — the operator's view of the control plane. Probing
+// goes through the normal exchange path, so a machine that fails its
+// probe is marked unreachable (and its processes lost), and a machine
+// that answers is marked reachable again.
+func (c *Controller) cmdStatus() {
+	for _, m := range c.cluster.Machines() {
+		name := m.Name()
+		if name == c.machine.Name() {
+			c.printf("machine %s: reachable (controller)\n", name)
+			continue
+		}
+		req := &daemon.ProcReq{Type: daemon.TListReq, UID: c.uid}
+		if _, err := c.exchange(name, req.Wire()); err != nil {
+			c.printf("machine %s: unreachable\n", name)
+		} else {
+			c.printf("machine %s: reachable\n", name)
 		}
 	}
 }

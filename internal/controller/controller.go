@@ -2,8 +2,10 @@ package controller
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 
@@ -75,6 +77,13 @@ type Controller struct {
 	jobOrder      []string
 	nextJobNo     int
 	nextPort      uint16
+	nextToken     int
+
+	// retry governs daemon exchanges; unreachable records machines whose
+	// exchanges have exhausted their retries. A machine leaves the set
+	// the next time an exchange to it succeeds.
+	retry       daemon.RetryPolicy
+	unreachable map[string]bool
 
 	dieArmed bool
 	closed   bool
@@ -113,17 +122,18 @@ func New(cluster *kernel.Cluster, machineName string, uid int, terminal io.Write
 	_, port := nname.Inet()
 
 	c := &Controller{
-		cluster:    cluster,
-		machine:    m,
-		uid:        uid,
-		cmd:        cmd,
-		notify:     notify,
-		notifyPort: port,
-		terminal:   terminal,
-		sink:       terminal,
-		filters:    make(map[string]*FilterInfo),
-		jobs:       make(map[string]*Job),
-		nextPort:   9000,
+		cluster:     cluster,
+		machine:     m,
+		uid:         uid,
+		cmd:         cmd,
+		notify:      notify,
+		notifyPort:  port,
+		terminal:    terminal,
+		sink:        terminal,
+		filters:     make(map[string]*FilterInfo),
+		jobs:        make(map[string]*Job),
+		nextPort:    9000,
+		unreachable: make(map[string]bool),
 	}
 	go c.notifyLoop(nfd)
 	return c, nil
@@ -253,6 +263,8 @@ func (c *Controller) exec(line string, depth int) bool {
 		c.cmdRemoveProcess(args)
 	case "jobs":
 		c.cmdJobs(args)
+	case "status":
+		c.cmdStatus()
 	case "ps":
 		c.cmdPs(args)
 	case "stdin":
@@ -295,9 +307,79 @@ func (c *Controller) printf(format string, args ...any) {
 	fmt.Fprintf(c.sink, format, args...)
 }
 
-// exchange performs one controller↔daemon RPC.
+// exchange performs one controller↔daemon RPC, hardened with the
+// controller's retry policy. A machine whose exchange exhausts every
+// retry is marked unreachable and its processes become lost; a later
+// successful exchange marks it reachable again.
 func (c *Controller) exchange(host string, req *daemon.WireMsg) (*daemon.Reply, error) {
-	return daemon.Exchange(c.cmd, host, req)
+	c.mu.Lock()
+	rp := c.retry
+	c.mu.Unlock()
+	rep, err := daemon.ExchangeRetry(c.cmd, host, req, rp)
+	c.noteExchange(host, err)
+	return rep, err
+}
+
+// noteExchange updates the reachability record from an exchange result.
+func (c *Controller) noteExchange(host string, err error) {
+	if err != nil && !errors.Is(err, daemon.ErrExhausted) {
+		return // a permanent failure says nothing about reachability
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err == nil {
+		if c.unreachable[host] {
+			delete(c.unreachable, host)
+			fmt.Fprintf(c.sink, "NOTE: machine %s is reachable again\n", host)
+		}
+		return
+	}
+	if !c.unreachable[host] {
+		c.unreachable[host] = true
+		fmt.Fprintf(c.sink, "WARNING: machine %s is unreachable\n", host)
+	}
+	// Every non-killed process on the machine is now in an unknown
+	// state — mark it lost rather than pretend we still know.
+	for _, jn := range c.jobOrder {
+		j := c.jobs[jn]
+		for _, p := range j.Procs {
+			if p.Machine == host && p.State != StateKilled && p.State != StateLost {
+				p.State = StateLost
+				fmt.Fprintf(c.sink, "LOST: process %s in job '%s' on %s\n", p.Name, j.Name, host)
+			}
+		}
+	}
+}
+
+// SetRetryPolicy overrides the exchange retry policy; tests and
+// embedding programs use it to bound fault-handling latency. The zero
+// policy selects the daemon package defaults.
+func (c *Controller) SetRetryPolicy(rp daemon.RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = rp
+}
+
+// Unreachable returns the machines currently marked unreachable,
+// sorted by name.
+func (c *Controller) Unreachable() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.unreachable))
+	for h := range c.unreachable {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newToken issues a create idempotency token, unique per controller
+// instance (the controller's machine and pid disambiguate instances).
+func (c *Controller) newToken() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextToken++
+	return fmt.Sprintf("%s.%d.%d", c.machine.Name(), c.cmd.PID(), c.nextToken)
 }
 
 // Closed reports whether die has completed.

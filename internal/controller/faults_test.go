@@ -1,0 +1,203 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dpm/internal/daemon"
+	"dpm/internal/kernel"
+	"dpm/internal/netsim"
+)
+
+// shortRetry keeps fault-path tests fast: two attempts, millisecond
+// backoff, short reply deadline.
+var shortRetry = daemon.RetryPolicy{
+	MaxAttempts: 2, BaseDelay: time.Millisecond,
+	MaxDelay: 2 * time.Millisecond, ReplyTimeout: 100 * time.Millisecond,
+}
+
+// cutFrom partitions the controller's machine from the named machine
+// on ether0 and returns the network for healing.
+func cutFrom(t *testing.T, c *kernel.Cluster, ctl *Controller, victim string) *netsim.Network {
+	t.Helper()
+	n, err := c.Network("ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Machine(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(ctl.machine.PrimaryHostID(), m.PrimaryHostID())
+	return n
+}
+
+// TestMachineLostAndRecovered walks the degradation round trip: a
+// partition makes exchanges to red exhaust their retries, red is
+// marked unreachable and its process becomes lost; after the heal a
+// successful exchange marks red reachable and the user restarts the
+// lost process.
+func TestMachineLostAndRecovered(t *testing.T) {
+	c, ctl, out := newSystem(t)
+	ctl.SetRetryPolicy(shortRetry)
+	ctl.Exec("filter f1 blue")
+	ctl.Exec("newjob foo")
+	ctl.Exec("addprocess foo red B")
+
+	n := cutFrom(t, c, ctl, "red")
+	ctl.Exec("stopjob foo")
+
+	if got := ctl.Unreachable(); len(got) != 1 || got[0] != "red" {
+		t.Fatalf("Unreachable() = %v, want [red]", got)
+	}
+	var proc *JobProc
+	for _, j := range ctl.Jobs() {
+		if j.Name == "foo" {
+			proc = j.Procs[0]
+		}
+	}
+	if proc == nil || proc.State != StateLost {
+		t.Fatalf("process = %+v, want state lost", proc)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"WARNING: machine red is unreachable",
+		"LOST: process B in job 'foo' on red",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output lacks %q:\n%s", want, text)
+		}
+	}
+
+	// The job listing flags the degradation both ways.
+	ctl.Exec("jobs")
+	ctl.Exec("jobs foo")
+	text = out.String()
+	if !strings.Contains(text, "'foo' filter 'f1' [degraded]") {
+		t.Errorf("jobs list not degraded:\n%s", text)
+	}
+	if !strings.Contains(text, "degraded: machine red unreachable") {
+		t.Errorf("jobs detail lacks degradation note:\n%s", text)
+	}
+
+	// Heal; the next successful exchange clears the mark, and the lost
+	// process can be driven back to a known state.
+	n.Heal()
+	ctl.Exec("status")
+	if got := ctl.Unreachable(); len(got) != 0 {
+		t.Fatalf("Unreachable() after heal = %v, want empty", got)
+	}
+	if !strings.Contains(out.String(), "NOTE: machine red is reachable again") {
+		t.Errorf("no recovery note:\n%s", out.String())
+	}
+	ctl.Exec("startjob foo")
+	waitFor(t, "lost process restarted", func() bool {
+		for _, j := range ctl.Jobs() {
+			if j.Name == "foo" && len(j.Procs) == 1 {
+				s := j.Procs[0].State
+				return s == StateRunning || s == StateKilled
+			}
+		}
+		return false
+	})
+}
+
+// TestStatusCommand checks the per-machine reachability report.
+func TestStatusCommand(t *testing.T) {
+	c, ctl, out := newSystem(t)
+	ctl.SetRetryPolicy(shortRetry)
+
+	ctl.Exec("status")
+	text := out.String()
+	for _, want := range []string{
+		"machine yellow: reachable (controller)",
+		"machine red: reachable",
+		"machine green: reachable",
+		"machine blue: reachable",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("status lacks %q:\n%s", want, text)
+		}
+	}
+
+	cutFrom(t, c, ctl, "green")
+	ctl.Exec("status")
+	if !strings.Contains(out.String(), "machine green: unreachable") {
+		t.Errorf("status after partition:\n%s", out.String())
+	}
+	if got := ctl.Unreachable(); len(got) != 1 || got[0] != "green" {
+		t.Fatalf("Unreachable() = %v, want [green]", got)
+	}
+}
+
+// TestStatusAfterCrash: a crashed machine shows unreachable; after a
+// restart (which reinstalls its daemon) it answers again.
+func TestStatusAfterCrash(t *testing.T) {
+	c, ctl, out := newSystem(t)
+	ctl.SetRetryPolicy(shortRetry)
+
+	if err := c.CrashMachine("red"); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Exec("status")
+	if !strings.Contains(out.String(), "machine red: unreachable") {
+		t.Errorf("status after crash:\n%s", out.String())
+	}
+
+	m, err := c.RestartMachine("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := daemon.Install(c, m); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Exec("status")
+	if !strings.Contains(out.String(), "machine red: reachable\n") {
+		t.Errorf("status after restart:\n%s", out.String())
+	}
+}
+
+// TestRemoveLostProcess: removing a lost process fails while its
+// machine is cut off — and the job survives, so the controller keeps
+// its record of the process — then succeeds (killing the real process)
+// after the heal.
+func TestRemoveLostProcess(t *testing.T) {
+	c, ctl, out := newSystem(t)
+	ctl.SetRetryPolicy(shortRetry)
+	ctl.Exec("filter f1 blue")
+	ctl.Exec("newjob foo")
+	ctl.Exec("addprocess foo red B")
+
+	var pid int
+	for _, j := range ctl.Jobs() {
+		if j.Name == "foo" {
+			pid = j.Procs[0].PID
+		}
+	}
+	n := cutFrom(t, c, ctl, "red")
+	ctl.Exec("stopjob foo") // exhausts retries, marks B lost
+
+	ctl.Exec("removejob foo")
+	text := out.String()
+	if !strings.Contains(text, "'B' not removed") || !strings.Contains(text, "job 'foo' not removed") {
+		t.Errorf("lost process removed while unreachable:\n%s", text)
+	}
+	if len(ctl.Jobs()) != 1 {
+		t.Fatal("job deleted despite unremovable lost process")
+	}
+
+	n.Heal()
+	ctl.Exec("removejob foo")
+	if len(ctl.Jobs()) != 0 {
+		t.Fatalf("job not removed after heal:\n%s", out.String())
+	}
+	red, err := c.Machine("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "daemon-side process gone", func() bool {
+		_, err := red.Proc(pid)
+		return err != nil
+	})
+}

@@ -31,6 +31,14 @@ const (
 	// StateKilled: the process has completed or been removed; it
 	// cannot be restarted.
 	StateKilled
+	// StateLost is an extension to Figure 4.2 for a fabric the paper
+	// assumed away: the process's machine stopped answering its
+	// meterdaemon exchanges, so the controller no longer knows the
+	// process's true state. The process may well still be executing.
+	// A lost process returns to a known state when its machine answers
+	// again (the user drives it with startjob/stopjob/removejob) or
+	// when a termination notice finally arrives.
+	StateLost
 )
 
 var stateNames = map[State]string{
@@ -39,6 +47,7 @@ var stateNames = map[State]string{
 	StateRunning:  "running",
 	StateStopped:  "stopped",
 	StateKilled:   "killed",
+	StateLost:     "lost",
 }
 
 func (s State) String() string {
@@ -55,10 +64,16 @@ func (s State) String() string {
 // process cannot be restarted once it has been killed"), and any
 // transition for acquired processes ("An acquired process cannot be
 // stopped or killed, it can only be metered").
+// The lost extension: entering lost is administrative (the controller
+// marks a machine's processes lost when exchanges to it exhaust their
+// retries), so no edge leads in; every user-driven edge leads out, so
+// a recovered machine's processes can be restarted, stopped, or
+// cleaned up once it answers again.
 var legalTransitions = map[State][]State{
 	StateNew:     {StateRunning, StateStopped},
 	StateRunning: {StateStopped, StateKilled},
 	StateStopped: {StateRunning, StateKilled},
+	StateLost:    {StateRunning, StateStopped, StateKilled},
 }
 
 // CanTransition reports whether Figure 4.2 permits moving a process
@@ -74,7 +89,10 @@ func CanTransition(from, to State) bool {
 
 // Active reports whether a process in this state counts as active for
 // the die command's warning ("If there are still active processes
-// (new, stopped, running, or acquired), the user is warned").
+// (new, stopped, running, or acquired), the user is warned"). A lost
+// process counts: it may still be executing somewhere the controller
+// cannot see.
 func (s State) Active() bool {
-	return s == StateNew || s == StateStopped || s == StateRunning || s == StateAcquired
+	return s == StateNew || s == StateStopped || s == StateRunning ||
+		s == StateAcquired || s == StateLost
 }

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dpm/internal/controller"
+	"dpm/internal/daemon"
+	"dpm/internal/kernel"
+	"dpm/internal/trace"
+)
+
+// TestChaosSoak drives concurrent metered jobs while a fault injector
+// randomly crashes and restarts one machine and cuts and heals the
+// controller's link to another. Invariants checked at the end, with
+// the fabric healed:
+//
+//   - the control plane never wedges (the test completes),
+//   - no create was ever duplicated on the surviving machine,
+//   - the reachability record converges to "everything reachable",
+//   - the filter's trace still parses (a torn tail is tolerated,
+//     corruption is not).
+func TestChaosSoak(t *testing.T) {
+	s, ctl, out := newTestSystem(t)
+	ctl.SetRetryPolicy(daemon.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: 2 * time.Millisecond,
+		MaxDelay: 10 * time.Millisecond, ReplyTimeout: 500 * time.Millisecond,
+	})
+
+	// beacon runs until killed, sending steadily so metering exercises
+	// the filter connection throughout the faults.
+	s.Cluster.RegisterProgram("beacon", func(p *kernel.Process) int {
+		f1, f2, err := p.SocketPair()
+		if err != nil {
+			return 1
+		}
+		for {
+			if _, err := p.Send(f1, []byte("b")); err != nil {
+				return 1
+			}
+			if _, err := p.Recv(f2, 4); err != nil {
+				return 1
+			}
+			p.Compute(200 * time.Microsecond)
+		}
+	})
+	for _, mn := range []string{"red", "green"} {
+		m, err := s.Machine(mn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.FS().CreateExecutable("/bin/beacon", s.UID, "beacon"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Controller and filter live on yellow, which is never faulted.
+	// red gets crashed and restarted; the yellow↔green link gets cut
+	// and healed.
+	ctl.Exec("filter f yellow")
+
+	iterations := 8
+	if testing.Short() {
+		iterations = 4
+	}
+
+	stop := make(chan struct{})
+	faultDone := make(chan struct{})
+	var crashes, restarts int
+	go func() {
+		defer close(faultDone)
+		rng := rand.New(rand.NewSource(42))
+		redDown, cut := false, false
+		for {
+			select {
+			case <-stop:
+				// Leave the world healed and whole.
+				if cut {
+					s.Heal()
+				}
+				if redDown {
+					if err := s.RestartMachine("red"); err != nil {
+						t.Error(err)
+					} else {
+						restarts++
+					}
+				}
+				return
+			default:
+			}
+			switch rng.Intn(4) {
+			case 0:
+				if !redDown {
+					if err := s.CrashMachine("red"); err != nil {
+						t.Error(err)
+						return
+					}
+					redDown = true
+					crashes++
+				}
+			case 1:
+				if redDown {
+					if err := s.RestartMachine("red"); err != nil {
+						t.Error(err)
+						return
+					}
+					redDown = false
+					restarts++
+				}
+			case 2:
+				if !cut {
+					if err := s.Partition("yellow", "green"); err != nil {
+						t.Error(err)
+						return
+					}
+					cut = true
+				}
+			case 3:
+				if cut {
+					s.Heal()
+					cut = false
+				}
+			}
+			time.Sleep(time.Duration(1+rng.Intn(5)) * time.Millisecond)
+		}
+	}()
+
+	for i := 0; i < iterations; i++ {
+		job := fmt.Sprintf("job%d", i)
+		ctl.Exec("newjob " + job)
+		ctl.Exec("setflags " + job + " send receive termproc")
+		ctl.Exec("addprocess " + job + " green beacon")
+		ctl.Exec("addprocess " + job + " red beacon")
+		ctl.Exec("startjob " + job)
+		ctl.Exec("status")
+		ctl.Exec("jobs")
+		ctl.Exec("jobs " + job)
+	}
+	close(stop)
+	<-faultDone
+
+	// With everything healed and restarted, a status sweep must
+	// converge the reachability record to empty.
+	ctl.Exec("status")
+	if got := ctl.Unreachable(); len(got) != 0 {
+		t.Fatalf("Unreachable() = %v after heal and restart\n%s", got, out.String())
+	}
+
+	// No double-create: green was never crashed, so every beacon its
+	// daemon ever created is still alive there, and the count must
+	// match the controller's records exactly — a retried create that
+	// double-created would leave an extra live process.
+	green, err := s.Machine("green")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := 0
+	for _, p := range green.Procs() {
+		if p.Name() == "/bin/beacon" {
+			live++
+		}
+	}
+	recorded := 0
+	pids := make(map[int]bool)
+	for _, j := range ctl.Jobs() {
+		for _, p := range j.Procs {
+			if p.Machine == "green" {
+				recorded++
+				if pids[p.PID] {
+					t.Fatalf("duplicate pid %d recorded on green", p.PID)
+				}
+				pids[p.PID] = true
+			}
+		}
+	}
+	if live != recorded {
+		t.Fatalf("green has %d live beacons but the controller recorded %d creates\n%s",
+			live, recorded, out.String())
+	}
+	if recorded == 0 {
+		t.Fatalf("no green creates survived the soak — faults starved the control plane\n%s", out.String())
+	}
+
+	// The fault counters saw every injected fault.
+	stats := s.FaultStats()
+	if int(stats.Crashes) != crashes || int(stats.Restarts) != restarts {
+		t.Fatalf("FaultStats = %+v, injected %d crashes %d restarts", stats, crashes, restarts)
+	}
+
+	// With the fabric healed, one more job must go through cleanly —
+	// and guarantees the filter has events to log, however unlucky the
+	// random faults were for the earlier startjobs.
+	ctl.Exec("newjob final")
+	ctl.Exec("setflags final send receive")
+	ctl.Exec("addprocess final green beacon")
+	ctl.Exec("startjob final")
+	waitFor(t, "final job running", func() bool {
+		for _, j := range ctl.Jobs() {
+			if j.Name == "final" && len(j.Procs) == 1 {
+				return j.Procs[0].State == controller.StateRunning
+			}
+		}
+		return false
+	})
+
+	// The filter's trace parses; a tail torn by a crash is tolerated.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		events, err := s.ReadTrace("yellow", "f")
+		if (err == nil || errors.Is(err, trace.ErrTruncated)) && len(events) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no parseable trace: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

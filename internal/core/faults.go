@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"dpm/internal/daemon"
+	"dpm/internal/kernel"
+)
+
+// This file is the system-level fault-injection surface: partitions,
+// machine crashes and restarts, and the fault statistics the kernels
+// accumulate. The paper's system assumed a well-behaved fabric; these
+// entry points let tests and experiments take that assumption away.
+
+// Partition cuts connectivity between two machines on every network
+// they share: datagrams between them vanish and new stream connections
+// fail, in both directions, until Heal.
+func (s *System) Partition(a, b string) error {
+	ma, err := s.Cluster.Machine(a)
+	if err != nil {
+		return err
+	}
+	mb, err := s.Cluster.Machine(b)
+	if err != nil {
+		return err
+	}
+	shared := 0
+	for _, n := range s.Cluster.Networks() {
+		ha, oka := ma.HostIDOn(n.Name())
+		hb, okb := mb.HostIDOn(n.Name())
+		if oka && okb {
+			n.Partition(ha, hb)
+			shared++
+		}
+	}
+	if shared == 0 {
+		return fmt.Errorf("core: %s and %s share no network", a, b)
+	}
+	return nil
+}
+
+// Heal removes every partition and downed link on every network.
+// Machines that were crashed stay down; RestartMachine revives those.
+func (s *System) Heal() {
+	for _, n := range s.Cluster.Networks() {
+		n.Heal()
+	}
+}
+
+// CrashMachine fail-stops a machine: every process on it is killed,
+// meter buffers flush where the filter is still reachable, and the
+// machine detaches from its networks. The machine's meterdaemon dies
+// with it.
+func (s *System) CrashMachine(name string) error {
+	return s.Cluster.CrashMachine(name)
+}
+
+// RestartMachine brings a crashed machine back: it reattaches to its
+// networks with its old addresses and gets a fresh meterdaemon, so the
+// control plane can reach it again. Processes killed by the crash stay
+// dead — recovering the computation is the controller's (or the
+// user's) business.
+func (s *System) RestartMachine(name string) error {
+	m, err := s.Cluster.RestartMachine(name)
+	if err != nil {
+		return err
+	}
+	d, err := daemon.Install(s.Cluster, m)
+	if err != nil {
+		return err
+	}
+	s.Daemons[name] = d
+	return nil
+}
+
+// FaultStats returns the cluster's fault counters.
+func (s *System) FaultStats() kernel.FaultStats {
+	return s.Cluster.FaultStats()
+}

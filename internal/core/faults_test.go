@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSystemFaultSurface exercises the system-level fault entry points
+// directly: partition and heal at the network layer, crash and restart
+// with daemon reinstallation, and the fault counters.
+func TestSystemFaultSurface(t *testing.T) {
+	s, _, _ := newTestSystem(t)
+
+	if err := s.Partition("red", "absent"); err == nil {
+		t.Fatal("partition naming an unknown machine succeeded")
+	}
+	if err := s.Partition("red", "green"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Cluster.Network("ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := s.Machine("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	green, err := s.Machine("green")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Reachable(red.PrimaryHostID(), green.PrimaryHostID()) {
+		t.Fatal("red and green still reachable after Partition")
+	}
+	s.Heal()
+	if !n.Reachable(red.PrimaryHostID(), green.PrimaryHostID()) {
+		t.Fatal("red and green not reachable after Heal")
+	}
+
+	oldDaemon := s.Daemons["red"]
+	if err := s.CrashMachine("red"); err != nil {
+		t.Fatal(err)
+	}
+	if !red.Down() {
+		t.Fatal("red not down after crash")
+	}
+	if err := s.RestartMachine("red"); err != nil {
+		t.Fatal(err)
+	}
+	if red.Down() {
+		t.Fatal("red still down after restart")
+	}
+	// The restart installed a fresh meterdaemon.
+	d := s.Daemons["red"]
+	if d == nil || d == oldDaemon {
+		t.Fatalf("daemon not replaced on restart (old %v, new %v)", oldDaemon, d)
+	}
+	if _, err := red.Proc(d.PID()); err != nil {
+		t.Fatalf("new daemon pid %d not alive: %v", d.PID(), err)
+	}
+
+	stats := s.FaultStats()
+	if stats.Crashes != 1 || stats.Restarts != 1 {
+		t.Fatalf("FaultStats = %+v, want 1 crash and 1 restart", stats)
+	}
+}

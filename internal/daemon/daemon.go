@@ -67,6 +67,7 @@ func Main(p *kernel.Process) int {
 		p:        p,
 		children: make(map[int]*childInfo),
 		byStdio:  make(map[uint16]*childInfo),
+		creates:  make(map[string]*Reply),
 	}
 	lfd, err := p.Socket(meter.AFInet, kernel.SockStream)
 	if err != nil {
@@ -125,6 +126,29 @@ type daemonState struct {
 	gatewayName meter.Name
 	children    map[int]*childInfo
 	byStdio     map[uint16]*childInfo
+
+	// Idempotency ledger: token -> the reply of the create that already
+	// ran under it. A create retried after a lost reply finds its
+	// original outcome here instead of creating a second process.
+	creates    map[string]*Reply
+	tokenOrder []string // FIFO for bounding the ledger
+}
+
+// maxCreateTokens bounds the idempotency ledger; the oldest entries
+// are evicted first, long after any plausible retry of them.
+const maxCreateTokens = 1024
+
+// rememberCreate records a successful create under its token.
+func (d *daemonState) rememberCreate(token string, rep *Reply) {
+	if token == "" {
+		return
+	}
+	if len(d.tokenOrder) >= maxCreateTokens {
+		delete(d.creates, d.tokenOrder[0])
+		d.tokenOrder = d.tokenOrder[1:]
+	}
+	d.creates[token] = rep
+	d.tokenOrder = append(d.tokenOrder, token)
 }
 
 // serveConn reads one request, executes it, replies, and closes — the
@@ -197,6 +221,9 @@ func (d *daemonState) connectMeterSocket(host string, port uint16) (int, error) 
 }
 
 func (d *daemonState) handleCreate(req *CreateReq) *Reply {
+	if rep, ok := d.creates[req.Token]; ok && req.Token != "" {
+		return rep
+	}
 	m := d.p.Machine()
 	if !m.HasAccount(req.UID) {
 		return &Reply{Type: TCreateRep, Status: fmt.Sprintf("uid %d has no account on %s", req.UID, m.Name())}
@@ -290,7 +317,9 @@ func (d *daemonState) handleCreate(req *CreateReq) *Reply {
 		m.InjectDgram(gatewayPort, []byte(note), meter.Name{})
 	})
 
-	return &Reply{Type: TCreateRep, PID: child.PID(), Status: "ok"}
+	rep := &Reply{Type: TCreateRep, PID: child.PID(), Status: "ok"}
+	d.rememberCreate(req.Token, rep)
+	return rep
 }
 
 // checkTarget verifies the request's uid may control the target pid.
@@ -482,8 +511,15 @@ func readWire(p *kernel.Process, fd int) (*WireMsg, error) {
 // host, send the request, read the reply, and close the connection
 // ("The stream connection between the controller and a meterdaemon
 // exists for the duration of a single exchange of messages", section
-// 3.5.1).
+// 3.5.1). It makes a single attempt with no deadline; ExchangeRetry
+// adds both.
 func Exchange(p *kernel.Process, host string, req *WireMsg) (*Reply, error) {
+	return exchangeOnce(p, host, req, 0)
+}
+
+// exchangeOnce is one connect/send/read/close round trip. A positive
+// timeout bounds the wait for the reply; zero waits forever.
+func exchangeOnce(p *kernel.Process, host string, req *WireMsg, timeout time.Duration) (*Reply, error) {
 	hostID, _, err := p.Machine().Cluster().ResolveFrom(p.Machine(), host)
 	if err != nil {
 		return nil, err
@@ -499,9 +535,38 @@ func Exchange(p *kernel.Process, host string, req *WireMsg) (*Reply, error) {
 	if _, err := p.Send(fd, req.Encode()); err != nil {
 		return nil, err
 	}
-	w, err := readWire(p, fd)
+	var w *WireMsg
+	if timeout > 0 {
+		w, err = readWireTimeout(p, fd, timeout)
+	} else {
+		w, err = readWire(p, fd)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return ParseReply(w), nil
+}
+
+// readWireTimeout is readWire under an overall deadline.
+func readWireTimeout(p *kernel.Process, fd int, timeout time.Duration) (*WireMsg, error) {
+	deadline := time.Now().Add(timeout)
+	var buf []byte
+	for {
+		msg, _, err := DecodeWire(buf)
+		if err == nil {
+			return msg, nil
+		}
+		if !errors.Is(err, ErrWireShort) {
+			return nil, err
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, kernel.ErrTimedOut
+		}
+		data, _, rerr := p.RecvTimeout(fd, 8192, remaining)
+		if rerr != nil {
+			return nil, rerr
+		}
+		buf = append(buf, data...)
+	}
 }

@@ -1,0 +1,210 @@
+package daemon
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+)
+
+// pingCount counts live processes running /bin/ping on a machine.
+func pingCount(m *kernel.Machine) int {
+	n := 0
+	for _, p := range m.Procs() {
+		if p.Name() == "/bin/ping" {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *testRig) pingOn(m *kernel.Machine) {
+	r.t.Helper()
+	registerPing(r.c)
+	if err := m.FS().CreateExecutable("/bin/ping", testUID, "ping"); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func TestExchangeRetrySurvivesPartition(t *testing.T) {
+	r := newRig(t)
+	n, err := r.c.Network("ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(r.yellow.PrimaryHostID(), r.red.PrimaryHostID())
+
+	done := make(chan error, 1)
+	go func() {
+		rep, err := ExchangeRetry(r.ctl, "red", (&WireMsg{Type: TListReq}), RetryPolicy{
+			MaxAttempts: 50, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond,
+		})
+		if err == nil && !rep.OK() {
+			err = errors.New(rep.Status)
+		}
+		done <- err
+	}()
+
+	time.Sleep(20 * time.Millisecond)
+	n.Heal()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exchange after heal: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("exchange never completed after heal")
+	}
+}
+
+func TestExchangeRetryExhaustsWithWrappedError(t *testing.T) {
+	r := newRig(t)
+	n, err := r.c.Network("ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(r.yellow.PrimaryHostID(), r.red.PrimaryHostID())
+
+	_, err = ExchangeRetry(r.ctl, "red", (&WireMsg{Type: TListReq}), RetryPolicy{
+		MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+	})
+	if !errors.Is(err, kernel.ErrHostUnreach) {
+		t.Fatalf("err = %v, want wrapped ErrHostUnreach", err)
+	}
+	if !strings.Contains(err.Error(), "2 attempts") {
+		t.Fatalf("err = %v, want attempt count in message", err)
+	}
+}
+
+func TestExchangeRetryPermanentErrorNotRetried(t *testing.T) {
+	r := newRig(t)
+	start := time.Now()
+	_, err := ExchangeRetry(r.ctl, "no-such-machine", (&WireMsg{Type: TListReq}), RetryPolicy{
+		MaxAttempts: 10, BaseDelay: 200 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("exchange with unknown machine succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("unknown machine took %v — it was retried", elapsed)
+	}
+}
+
+// TestCreateTokenPreventsDoubleCreate is the lost-reply scenario: the
+// first create request reaches the daemon but the connection dies (as
+// in a partition mid-exchange) before the reply comes back, so the
+// controller retries with the same token. Exactly one process must
+// exist, and the retried create must report the original pid.
+func TestCreateTokenPreventsDoubleCreate(t *testing.T) {
+	r := newRig(t)
+	r.pingOn(r.red)
+
+	req := &CreateReq{Filename: "/bin/ping", UID: testUID, Token: "job1-red-0"}
+
+	// First attempt: deliver the request, then tear the connection down
+	// without reading the reply — the reply is lost in the "partition".
+	hostID, _, err := r.c.ResolveFrom(r.yellow, "red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := r.ctl.Socket(meter.AFInet, kernel.SockStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctl.Connect(fd, meter.InetName(hostID, Port)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ctl.Send(fd, req.Wire().Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctl.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retry with the same token: the daemon must recognize it.
+	rep, err := ExchangeRetry(r.ctl, "red", req.Wire(), RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.PID == 0 {
+		t.Fatalf("retried create reply = %+v", rep)
+	}
+	if got := pingCount(r.red); got != 1 {
+		t.Fatalf("%d ping processes after retried create, want exactly 1", got)
+	}
+	if _, err := r.red.Proc(rep.PID); err != nil {
+		t.Fatalf("reported pid %d not alive: %v", rep.PID, err)
+	}
+
+	// A third identical create is still the same process.
+	rep2, err := Exchange(r.ctl, "red", req.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.PID != rep.PID {
+		t.Fatalf("token reuse created pid %d, want %d", rep2.PID, rep.PID)
+	}
+	if got := pingCount(r.red); got != 1 {
+		t.Fatalf("%d ping processes after third create, want 1", got)
+	}
+
+	// Distinct tokens still create distinct processes.
+	req2 := &CreateReq{Filename: "/bin/ping", UID: testUID, Token: "job1-red-1"}
+	rep3, err := Exchange(r.ctl, "red", req2.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.OK() || rep3.PID == rep.PID {
+		t.Fatalf("distinct token reply = %+v (first pid %d)", rep3, rep.PID)
+	}
+	if got := pingCount(r.red); got != 2 {
+		t.Fatalf("%d ping processes after distinct-token create, want 2", got)
+	}
+}
+
+// TestCreateRetryAcrossPartition drives a tokened create through
+// ExchangeRetry while the controller↔daemon link is cut, heals the
+// link mid-retry, and checks exactly one process results.
+func TestCreateRetryAcrossPartition(t *testing.T) {
+	r := newRig(t)
+	r.pingOn(r.green)
+	n, err := r.c.Network("ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(r.yellow.PrimaryHostID(), r.green.PrimaryHostID())
+
+	req := &CreateReq{Filename: "/bin/ping", UID: testUID, Token: "job2-green-0"}
+	done := make(chan *Reply, 1)
+	go func() {
+		rep, err := ExchangeRetry(r.ctl, "green", req.Wire(), RetryPolicy{
+			MaxAttempts: 50, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Errorf("create across partition: %v", err)
+			done <- nil
+			return
+		}
+		done <- rep
+	}()
+	time.Sleep(20 * time.Millisecond)
+	n.Heal()
+
+	select {
+	case rep := <-done:
+		if rep == nil {
+			return // goroutine already reported the failure
+		}
+		if !rep.OK() {
+			t.Fatalf("create reply: %s", rep.Status)
+		}
+		if got := pingCount(r.green); got != 1 {
+			t.Fatalf("%d ping processes, want exactly 1", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("create never completed after heal")
+	}
+}

@@ -191,6 +191,12 @@ type CreateReq struct {
 	ControlHost string
 	UID         int
 	StdinFile   string
+	// Token is an idempotency key: a daemon that has already executed a
+	// create with this token returns the original reply instead of
+	// creating a second process. Controllers set it so a create retried
+	// after a lost reply cannot double-create. It rides as a trailing
+	// field, which old parsers ignore and old encoders omit.
+	Token string
 }
 
 // Wire encodes the request.
@@ -208,6 +214,7 @@ func (r *CreateReq) Wire() *WireMsg {
 		r.ControlHost,
 		strconv.Itoa(r.UID),
 		r.StdinFile,
+		r.Token,
 	)
 	return &WireMsg{Type: TCreateReq, Fields: fields}
 }
@@ -232,6 +239,7 @@ func ParseCreateReq(w *WireMsg) (*CreateReq, error) {
 	r.ControlHost = w.str(base + 4)
 	r.UID = w.num(base + 5)
 	r.StdinFile = w.str(base + 6)
+	r.Token = w.str(base + 7)
 	return r, nil
 }
 

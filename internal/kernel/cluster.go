@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpm/internal/clock"
@@ -43,7 +44,14 @@ type Cluster struct {
 	networks map[string]*netsim.Network
 	programs map[string]Program
 	hostToM  map[uint32]*Machine
+	hostNet  map[uint32]string // host id -> network it is an address on
 	nextHost uint32
+
+	// Fault accounting; see FaultStats.
+	crashes       atomic.Int64
+	restarts      atomic.Int64
+	meterDisabled atomic.Int64
+	meterDrops    atomic.Int64
 
 	wg sync.WaitGroup // all process goroutines across all machines
 }
@@ -59,6 +67,7 @@ func NewCluster(cfg Config) *Cluster {
 		networks: make(map[string]*netsim.Network),
 		programs: make(map[string]Program),
 		hostToM:  make(map[uint32]*Machine),
+		hostNet:  make(map[uint32]string),
 	}
 }
 
@@ -69,6 +78,17 @@ func (c *Cluster) AddNetwork(name string, opts ...netsim.Option) *netsim.Network
 	c.networks[name] = n
 	c.mu.Unlock()
 	return n
+}
+
+// Networks returns every network in the cluster.
+func (c *Cluster) Networks() []*netsim.Network {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*netsim.Network, 0, len(c.networks))
+	for _, n := range c.networks {
+		out = append(out, n)
+	}
+	return out
 }
 
 // Network returns a network by name.
@@ -121,6 +141,7 @@ func (c *Cluster) AddMachine(name string, clk *clock.MachineClock, networks ...s
 		m.hostIDs[nn] = host
 		m.netOrder = append(m.netOrder, nn)
 		c.hostToM[host] = m
+		c.hostNet[host] = nn
 	}
 	c.machines[name] = m
 	c.byID = append(c.byID, m)

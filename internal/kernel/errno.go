@@ -23,4 +23,6 @@ var (
 	ErrExited      = errors.New("kernel: process has exited")
 	ErrMsgSize     = errors.New("kernel: message too long (EMSGSIZE)")
 	ErrAfNoSupport = errors.New("kernel: address family not supported (EAFNOSUPPORT)")
+	ErrTimedOut    = errors.New("kernel: operation timed out (ETIMEDOUT)")
+	ErrMachineDown = errors.New("kernel: machine is down")
 )

@@ -1,0 +1,143 @@
+package kernel
+
+import "fmt"
+
+// This file is the machine-level half of the fault-injection layer
+// (the link-level half lives in netsim). The paper's fabric already
+// loses and reorders datagrams (section 3.1); a monitor aimed at
+// production also has to survive the larger faults — a machine losing
+// power, a network splitting — so the simulation can inject them and
+// the control plane's degradation can be tested rather than assumed.
+
+// FaultStats is a snapshot of the cluster's fault accounting.
+type FaultStats struct {
+	// Crashes and Restarts count CrashMachine/RestartMachine calls
+	// that took effect.
+	Crashes  int64
+	Restarts int64
+	// MeterDisabled counts processes whose metering the kernel switched
+	// off after their filter died (the degradation of section 3.2's
+	// mechanism: drop trace data rather than wedge the computation).
+	MeterDisabled int64
+	// MeterDrops counts meter messages discarded instead of being
+	// delivered to a dead or unconnected filter.
+	MeterDrops int64
+}
+
+// FaultStats returns the current fault counters.
+func (c *Cluster) FaultStats() FaultStats {
+	return FaultStats{
+		Crashes:       c.crashes.Load(),
+		Restarts:      c.restarts.Load(),
+		MeterDisabled: c.meterDisabled.Load(),
+		MeterDrops:    c.meterDrops.Load(),
+	}
+}
+
+// CrashMachine simulates the machine losing power: every process on it
+// is killed (goroutine-backed processes unwind at their next system
+// call and flush pending meter messages, which reach their filters
+// only where those filters are still alive), and the machine detaches
+// from every network, so datagrams addressed to it vanish and new
+// stream connections to it are refused. The machine stays down —
+// refusing spawns and connections — until RestartMachine.
+func (c *Cluster) CrashMachine(name string) error {
+	m, err := c.Machine(name)
+	if err != nil {
+		return err
+	}
+	m.faultMu.Lock()
+	defer m.faultMu.Unlock()
+	if m.Down() {
+		return fmt.Errorf("%w: %s already crashed", ErrMachineDown, name)
+	}
+	m.setDown(true)
+	c.crashes.Add(1)
+
+	// Kill everything. Detached processes (driven by an external
+	// caller, no goroutine) are finished here directly; goroutine
+	// processes unwind asynchronously.
+	for _, p := range m.Procs() {
+		p.signal(SIGKILL)
+		if p.detached {
+			p.finish(-1, ReasonKilled)
+		}
+	}
+
+	// Pull the interfaces.
+	m.mu.Lock()
+	attached := make(map[string]uint32, len(m.hostIDs))
+	for nn, h := range m.hostIDs {
+		attached[nn] = h
+	}
+	m.mu.Unlock()
+	for nn, h := range attached {
+		if n, err := c.Network(nn); err == nil {
+			n.Detach(h)
+		}
+	}
+	return nil
+}
+
+// RestartMachine reboots a crashed machine: it reattaches to its
+// networks under the same addresses and accepts spawns again. The
+// process table starts empty — rebooting does not resurrect processes,
+// so whoever ran a meterdaemon on the machine must reinstall it (in
+// this reproduction, core.System.RestartMachine does).
+func (c *Cluster) RestartMachine(name string) (*Machine, error) {
+	m, err := c.Machine(name)
+	if err != nil {
+		return nil, err
+	}
+	m.faultMu.Lock()
+	defer m.faultMu.Unlock()
+	if !m.Down() {
+		return nil, fmt.Errorf("kernel: machine %q is not down", name)
+	}
+	m.mu.Lock()
+	attached := make(map[string]uint32, len(m.hostIDs))
+	for nn, h := range m.hostIDs {
+		attached[nn] = h
+	}
+	m.mu.Unlock()
+	for nn, h := range attached {
+		n, err := c.Network(nn)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Attach(h, m); err != nil {
+			return nil, err
+		}
+	}
+	m.setDown(false)
+	c.restarts.Add(1)
+	return m, nil
+}
+
+// checkStreamPath decides whether a new stream connection from machine
+// `from` can reach `host`, an address of machine `target`. Established
+// streams are reliable by construction and not routed through the
+// datagram fabric, but *establishing* one requires a path between the
+// machines, so connect consults the fabric's reachability.
+func (c *Cluster) checkStreamPath(from, target *Machine, host uint32) error {
+	if target.Down() {
+		return fmt.Errorf("%w: %s is down", ErrHostUnreach, target.name)
+	}
+	c.mu.Lock()
+	n := c.networks[c.hostNet[host]]
+	c.mu.Unlock()
+	if n == nil {
+		return nil
+	}
+	srcHost, ok := from.hostIDOn(n.Name())
+	if !ok {
+		// No address on the destination network: the connection is
+		// routed through a gateway whose links the simulation does not
+		// model, so only the target's own state gates it.
+		return nil
+	}
+	if !n.Reachable(srcHost, host) {
+		return fmt.Errorf("%w: %s unreachable from %s", ErrHostUnreach, target.name, from.name)
+	}
+	return nil
+}

@@ -29,7 +29,10 @@ type Machine struct {
 	clock   *clock.MachineClock
 	fs      *fsys.FS
 
+	faultMu sync.Mutex // serializes crash/restart transitions
+
 	mu         sync.Mutex
+	down       bool // crashed: refuses spawns, connections, datagrams
 	procs      map[int]*Process
 	nextPID    int
 	accounts   map[int]string // uid -> user name
@@ -58,6 +61,20 @@ func (m *Machine) FS() *fsys.FS { return m.fs }
 
 // Cluster returns the cluster the machine belongs to.
 func (m *Machine) Cluster() *Cluster { return m.cluster }
+
+// Down reports whether the machine has crashed (CrashMachine) and not
+// yet been restarted.
+func (m *Machine) Down() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down
+}
+
+func (m *Machine) setDown(down bool) {
+	m.mu.Lock()
+	m.down = down
+	m.mu.Unlock()
+}
 
 // AddAccount gives uid an account on this machine. Per the paper's
 // protection policy, "To create a process on a machine, a user must
@@ -99,6 +116,10 @@ func (m *Machine) hostIDOn(network string) (uint32, bool) {
 	return h, ok
 }
 
+// HostIDOn returns the machine's address on the given network, and
+// whether it is attached to that network at all.
+func (m *Machine) HostIDOn(network string) (uint32, bool) { return m.hostIDOn(network) }
+
 // SpawnSpec describes a process to create.
 type SpawnSpec struct {
 	UID  int
@@ -127,6 +148,9 @@ type SpawnSpec struct {
 // Spawn creates a process. The account check implements the paper's
 // protection policy.
 func (m *Machine) Spawn(spec SpawnSpec) (*Process, error) {
+	if m.Down() {
+		return nil, fmt.Errorf("%w: %s", ErrMachineDown, m.name)
+	}
 	if !m.HasAccount(spec.UID) {
 		return nil, fmt.Errorf("%w: uid %d on %s", ErrNoAccount, spec.UID, m.name)
 	}
@@ -155,6 +179,9 @@ func (m *Machine) Spawn(spec SpawnSpec) (*Process, error) {
 // external driver (the controller object in this reproduction) issues
 // its system calls directly. It starts started.
 func (m *Machine) SpawnDetached(uid int, name string) (*Process, error) {
+	if m.Down() {
+		return nil, fmt.Errorf("%w: %s", ErrMachineDown, m.name)
+	}
 	if !m.HasAccount(uid) {
 		return nil, fmt.Errorf("%w: uid %d on %s", ErrNoAccount, uid, m.name)
 	}
@@ -379,6 +406,9 @@ func (m *Machine) InjectDgram(port uint16, data []byte, src meter.Name) {
 // a network is routed to the socket bound to its destination port.
 // Datagrams to unbound ports are dropped, as UDP drops them.
 func (m *Machine) DeliverDatagram(dg netsim.Datagram) {
+	if m.Down() {
+		return // a crashed machine receives nothing
+	}
 	s := m.lookupPort(SockDgram, dg.Dst.Port)
 	if s == nil {
 		return

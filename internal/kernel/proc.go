@@ -329,6 +329,14 @@ func (p *Process) emit(body meter.Body) {
 	if sock == nil || buf == nil || !flags.Selects(body.EventType()) {
 		return
 	}
+	if sock.Dead() {
+		// The filter died. Metering must degrade rather than wedge the
+		// monitored computation (or accumulate messages nothing will
+		// read): switch it off for this process and account for what
+		// was lost.
+		p.disableMetering(sock, buf)
+		return
+	}
 	msg := &meter.Msg{
 		Header: meter.Header{
 			Machine:  p.machine.id,
@@ -338,6 +346,25 @@ func (p *Process) emit(body meter.Body) {
 		Body: body,
 	}
 	buf.Add(msg, flags.Immediate())
+}
+
+// disableMetering turns metering off for the process after its filter
+// died: the meter socket and buffer are released, the flag mask is
+// cleared, and the messages that will never arrive — the buffered ones
+// plus the event that found the corpse — are counted as drops.
+func (p *Process) disableMetering(sock *Socket, buf *meter.Buffer) {
+	p.mu.Lock()
+	if p.meterSock != sock {
+		p.mu.Unlock() // raced with a Setmeter that replaced the socket
+		return
+	}
+	p.meterSock, p.meterBuf = nil, nil
+	p.meterFlags = 0
+	p.mu.Unlock()
+	sock.unref()
+	c := p.machine.cluster
+	c.meterDisabled.Add(1)
+	c.meterDrops.Add(int64(buf.Pending()) + 1)
 }
 
 // fd returns the entry at descriptor fd.

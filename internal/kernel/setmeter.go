@@ -21,13 +21,24 @@ const (
 )
 
 // newMeterBuffer builds the per-process buffer of unsent meter
-// messages, delivering batches over the given meter socket.
+// messages, delivering batches over the given meter socket. A batch
+// the socket cannot deliver (the filter died between buffering and
+// flush) is counted message-by-message in the cluster's fault stats.
 func (m *Machine) newMeterBuffer(sock *Socket) *meter.Buffer {
 	count := m.cluster.meterBufferCount()
 	if count == 0 {
 		count = meter.DefaultBufferCount
 	}
-	return meter.NewBuffer(count, sock.kernelSend)
+	return meter.NewBuffer(count, func(batch []byte) {
+		if sock.kernelSend(batch) {
+			return
+		}
+		if msgs, _, err := meter.DecodeStream(batch); err == nil && len(msgs) > 0 {
+			m.cluster.meterDrops.Add(int64(len(msgs)))
+		} else {
+			m.cluster.meterDrops.Add(1)
+		}
+	})
 }
 
 // Setmeter marks a process for metering (the system call the paper

@@ -95,6 +95,16 @@ func (s *Socket) Connected() bool {
 	return s.connected && !s.peerClosed
 }
 
+// Dead reports that the socket can never carry data again: it is
+// closed, or it was connected and its peer has gone. A socket that was
+// simply never connected is not dead. The metering machinery uses this
+// to tell a dead filter from a merely unused meter socket.
+func (s *Socket) Dead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || (s.connected && s.peerClosed)
+}
+
 // ref adds a descriptor reference.
 func (s *Socket) ref() {
 	s.mu.Lock()
@@ -120,9 +130,13 @@ func (s *Socket) unref() {
 	s.mu.Unlock()
 
 	s.machine.unbindSocket(s)
-	// Reject connections that were queued but never accepted.
+	// Reject connections that were queued but never accepted: drop the
+	// queue's reference so each conn closes and its *initiator* learns
+	// the peer is gone. (Marking the conn itself peerClosed would tell
+	// nobody — no process holds it, and the initiator would keep
+	// sending into a socket that can never be accepted.)
 	for _, c := range pending {
-		c.notifyPeerClosed()
+		c.unref()
 	}
 	if peer != nil {
 		peer.notifyPeerClosed()
@@ -197,17 +211,19 @@ func (s *Socket) deliverDgram(data []byte, src meter.Name, sentAt time.Duration)
 }
 
 // kernelSend writes data to the socket's stream peer from kernel
-// context, bypassing any descriptor table. The metering machinery uses
-// it for the meter connection; per the man page, "Meter messages are
-// lost if they are sent on an unconnected socket", so errors are
-// swallowed.
-func (s *Socket) kernelSend(data []byte) {
+// context, bypassing any descriptor table, and reports whether the
+// data was delivered. The metering machinery uses it for the meter
+// connection; per the man page, "Meter messages are lost if they are
+// sent on an unconnected socket" — the caller counts the loss, the
+// sending process never sees an error.
+func (s *Socket) kernelSend(data []byte) bool {
 	s.mu.Lock()
 	peer := s.peer
 	ok := s.connected && !s.peerClosed && !s.closed
 	s.mu.Unlock()
 	if !ok || peer == nil {
-		return
+		return false
 	}
 	peer.deliverStream(data, s.machine.clock.Now())
+	return true
 }

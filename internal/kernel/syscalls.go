@@ -141,6 +141,11 @@ func (p *Process) lookupStreamListener(name meter.Name) (*Socket, error) {
 		if target == nil {
 			return nil, fmt.Errorf("%w: host %d", ErrHostUnreach, host)
 		}
+		if target != p.machine {
+			if err := p.machine.cluster.checkStreamPath(p.machine, target, host); err != nil {
+				return nil, err
+			}
+		}
 		return target.lookupPort(SockStream, port), nil
 	case meter.AFUnix:
 		return p.machine.lookupUnix(name.Path()), nil
@@ -242,9 +247,17 @@ func (p *Process) Connect(fd int, name meter.Name) error {
 
 // block waits for the socket's next state change, honoring kill.
 func (p *Process) block(ch <-chan struct{}) error {
+	return p.blockTimeout(ch, nil)
+}
+
+// blockTimeout is block with a deadline channel; a nil timeout never
+// fires.
+func (p *Process) blockTimeout(ch <-chan struct{}, timeout <-chan time.Time) error {
 	select {
 	case <-ch:
 		return nil
+	case <-timeout:
+		return ErrTimedOut
 	case <-p.killCh:
 		if p.detached {
 			return ErrKilled
@@ -443,6 +456,20 @@ func (p *Process) Recv(fd, max int) ([]byte, error) {
 
 // RecvFrom is Recv plus the source's name, meaningful for datagrams.
 func (p *Process) RecvFrom(fd, max int) ([]byte, meter.Name, error) {
+	return p.recvFrom(fd, max, nil)
+}
+
+// RecvTimeout is RecvFrom with a deadline: if nothing arrives within d
+// the call fails with ErrTimedOut. It stands in for 4.2BSD's
+// SO_RCVTIMEO; the meterdaemon's hardened exchanges use it so a reply
+// lost to a crash or partition cannot block a request forever.
+func (p *Process) RecvTimeout(fd, max int, d time.Duration) ([]byte, meter.Name, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	return p.recvFrom(fd, max, t.C)
+}
+
+func (p *Process) recvFrom(fd, max int, timeout <-chan time.Time) ([]byte, meter.Name, error) {
 	if err := p.enter(); err != nil {
 		return nil, meter.Name{}, err
 	}
@@ -516,7 +543,7 @@ func (p *Process) RecvFrom(fd, max int) ([]byte, meter.Name, error) {
 		}
 		ch := s.changed
 		s.mu.Unlock()
-		if err := p.block(ch); err != nil {
+		if err := p.blockTimeout(ch, timeout); err != nil {
 			return nil, meter.Name{}, err
 		}
 	}

@@ -31,6 +31,7 @@ var (
 	ErrClosed   = errors.New("netsim: network closed")
 	ErrTooBig   = errors.New("netsim: datagram exceeds maximum size (EMSGSIZE)")
 	ErrAttached = errors.New("netsim: host id already attached")
+	ErrNetDown  = errors.New("netsim: network is down (ENETDOWN)")
 )
 
 // MaxDatagram is the largest datagram the fabric will carry, matching
@@ -84,8 +85,20 @@ type Network struct {
 	jitter  time.Duration
 	held    *Datagram // datagram held back for reordering
 	closed  bool
+	down    bool                 // whole network administratively down
+	cuts    map[linkKey]struct{} // severed host pairs (partitions)
 
 	wg sync.WaitGroup // outstanding delayed deliveries
+}
+
+// linkKey identifies one bidirectional host pair, order-normalized.
+type linkKey struct{ a, b uint32 }
+
+func link(a, b uint32) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
 }
 
 // Option configures a Network.
@@ -121,6 +134,7 @@ func New(name string, opts ...Option) *Network {
 		name: name,
 		eps:  make(map[uint32]Endpoint),
 		rng:  rand.New(rand.NewSource(1)),
+		cuts: make(map[linkKey]struct{}),
 	}
 	for _, o := range opts {
 		o(n)
@@ -152,10 +166,82 @@ func (n *Network) Detach(host uint32) {
 	delete(n.eps, host)
 }
 
+// Partition severs the link between two hosts: datagrams between them
+// are silently lost (the sender cannot tell a cut from congestion) and
+// the kernel refuses new stream connections across it. The cut is
+// bidirectional. Partitioning is idempotent and undone by Heal or
+// SetLinkDown(a, b, false).
+func (n *Network) Partition(hostA, hostB uint32) {
+	n.SetLinkDown(hostA, hostB, true)
+}
+
+// PartitionNets splits the network into two sides: every link from a
+// host in a to a host in b is cut — the classic split-brain fault.
+// Links within each side are untouched.
+func (n *Network) PartitionNets(a, b []uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ha := range a {
+		for _, hb := range b {
+			if ha != hb {
+				n.cuts[link(ha, hb)] = struct{}{}
+			}
+		}
+	}
+}
+
+// SetLinkDown cuts (down=true) or restores (down=false) the link
+// between two hosts.
+func (n *Network) SetLinkDown(hostA, hostB uint32, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.cuts[link(hostA, hostB)] = struct{}{}
+	} else {
+		delete(n.cuts, link(hostA, hostB))
+	}
+}
+
+// SetDown takes the whole network down (or back up). While down, Send
+// fails with ErrNetDown — the local interface is gone, so unlike a
+// partition the sender can tell.
+func (n *Network) SetDown(down bool) {
+	n.mu.Lock()
+	n.down = down
+	n.mu.Unlock()
+}
+
+// Heal removes every partition and brings the network back up.
+// Datagrams lost while the faults were active stay lost.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.cuts = make(map[linkKey]struct{})
+	n.down = false
+	n.mu.Unlock()
+}
+
+// Reachable reports whether traffic can currently flow between two
+// attached hosts. The kernel consults it before establishing a stream
+// connection across the fabric.
+func (n *Network) Reachable(hostA, hostB uint32) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.down {
+		return false
+	}
+	if _, cut := n.cuts[link(hostA, hostB)]; cut {
+		return false
+	}
+	_, aOK := n.eps[hostA]
+	_, bOK := n.eps[hostB]
+	return aOK && bOK
+}
+
 // Send injects a datagram into the fabric. It returns an error only
 // for local conditions (unknown destination host, oversize datagram,
-// closed network); silent loss in transit is, as on a real network,
-// not reported to the sender.
+// closed or downed network); silent loss in transit is, as on a real
+// network, not reported to the sender. A datagram crossing a
+// partitioned link is such a silent loss.
 func (n *Network) Send(dg Datagram) error {
 	if len(dg.Data) > MaxDatagram {
 		return ErrTooBig
@@ -165,10 +251,18 @@ func (n *Network) Send(dg Datagram) error {
 		n.mu.Unlock()
 		return ErrClosed
 	}
+	if n.down {
+		n.mu.Unlock()
+		return ErrNetDown
+	}
 	ep, ok := n.eps[dg.Dst.Host]
 	if !ok {
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %v", ErrNoHost, dg.Dst)
+	}
+	if _, cut := n.cuts[link(dg.Src.Host, dg.Dst.Host)]; cut {
+		n.mu.Unlock()
+		return nil // lost at the cut
 	}
 	if n.loss > 0 && n.rng.Float64() < n.loss {
 		n.mu.Unlock()
@@ -179,6 +273,9 @@ func (n *Network) Send(dg Datagram) error {
 	var toDeliver []delivery
 	if n.held != nil {
 		heldEp := n.eps[n.held.Dst.Host]
+		if _, cut := n.cuts[link(n.held.Src.Host, n.held.Dst.Host)]; cut {
+			heldEp = nil // the link was cut while the datagram was held
+		}
 		toDeliver = append(toDeliver, delivery{ep, dg})
 		if heldEp != nil {
 			toDeliver = append(toDeliver, delivery{heldEp, *n.held})

@@ -305,3 +305,144 @@ func TestAddrString(t *testing.T) {
 		t.Fatalf("String() = %q", got)
 	}
 }
+
+func TestPartitionDropsDatagrams(t *testing.T) {
+	n := New("ether0")
+	s2, s3 := &sink{}, &sink{}
+	if err := n.Attach(1, &sink{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(2, s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(3, s3); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(1, 2)
+	if !n.Reachable(1, 3) {
+		t.Fatal("1-3 should be unaffected by the 1-2 cut")
+	}
+	if n.Reachable(1, 2) || n.Reachable(2, 1) {
+		t.Fatal("cut link still reachable")
+	}
+	// Across the cut: silently lost, no sender-visible error.
+	if err := n.Send(dg(2, "cut")); err != nil {
+		t.Fatalf("send across partition errored: %v", err)
+	}
+	// Around the cut: delivered.
+	if err := n.Send(dg(3, "ok")); err != nil {
+		t.Fatal(err)
+	}
+	if s2.count() != 0 || s3.count() != 1 {
+		t.Fatalf("delivered %d/%d, want 0/1", s2.count(), s3.count())
+	}
+	n.Heal()
+	if !n.Reachable(1, 2) {
+		t.Fatal("heal did not restore the link")
+	}
+	if err := n.Send(dg(2, "healed")); err != nil {
+		t.Fatal(err)
+	}
+	if s2.count() != 1 {
+		t.Fatalf("post-heal delivery count = %d, want 1", s2.count())
+	}
+}
+
+func TestPartitionNetsSplitsGroups(t *testing.T) {
+	n := New("ether0")
+	sinks := map[uint32]*sink{}
+	for _, h := range []uint32{1, 2, 3, 4} {
+		sinks[h] = &sink{}
+		if err := n.Attach(h, sinks[h]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.PartitionNets([]uint32{1, 2}, []uint32{3, 4})
+	for _, pair := range [][2]uint32{{1, 3}, {1, 4}, {2, 3}, {2, 4}} {
+		if n.Reachable(pair[0], pair[1]) {
+			t.Fatalf("%v reachable across the split", pair)
+		}
+	}
+	for _, pair := range [][2]uint32{{1, 2}, {3, 4}} {
+		if !n.Reachable(pair[0], pair[1]) {
+			t.Fatalf("%v cut within its own side", pair)
+		}
+	}
+}
+
+func TestSetLinkDownAndRestore(t *testing.T) {
+	n := New("ether0")
+	s := &sink{}
+	if err := n.Attach(2, s); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkDown(1, 2, true)
+	if err := n.Send(dg(2, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if s.count() != 0 {
+		t.Fatal("datagram crossed a downed link")
+	}
+	n.SetLinkDown(1, 2, false)
+	if err := n.Send(dg(2, "y")); err != nil {
+		t.Fatal(err)
+	}
+	if s.count() != 1 {
+		t.Fatal("restored link does not deliver")
+	}
+}
+
+func TestSetDownWholeNetwork(t *testing.T) {
+	n := New("ether0")
+	s := &sink{}
+	if err := n.Attach(2, s); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown(true)
+	if err := n.Send(dg(2, "x")); !errors.Is(err, ErrNetDown) {
+		t.Fatalf("send on downed network: %v, want ErrNetDown", err)
+	}
+	if n.Reachable(1, 2) {
+		t.Fatal("downed network reports reachable")
+	}
+	n.Heal()
+	if err := n.Send(dg(2, "y")); err != nil {
+		t.Fatal(err)
+	}
+	if s.count() != 1 {
+		t.Fatal("healed network does not deliver")
+	}
+}
+
+func TestHeldDatagramDroppedIfLinkCutWhileHeld(t *testing.T) {
+	// A datagram held back for reordering whose link is cut before the
+	// next send must not leak across the partition.
+	n := New("ether0", WithReorder(1.0), WithSeed(7))
+	s := &sink{}
+	if err := n.Attach(2, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(dg(2, "held")); err != nil { // held back
+		t.Fatal(err)
+	}
+	n.Partition(1, 2)
+	n.SetLinkDown(1, 2, false) // reopen so the trigger datagram flows
+	if err := n.Send(dg(2, "trigger")); err != nil {
+		t.Fatal(err)
+	}
+	// Re-cut, re-run with the cut active at release time.
+	n.Heal()
+	if err := n.Send(dg(2, "held2")); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(1, 2)
+	// The trigger itself is cut too: both lost.
+	if err := n.Send(dg(2, "trigger2")); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.payloads() {
+		if p == "held2" || p == "trigger2" {
+			t.Fatalf("datagram %q crossed an active partition", p)
+		}
+	}
+}

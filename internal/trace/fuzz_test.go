@@ -1,6 +1,11 @@
 package trace
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"dpm/internal/meter"
+)
 
 // FuzzParseLog checks the log parser on arbitrary text; accepted
 // traces must survive a Format/ParseLog round trip.
@@ -8,11 +13,17 @@ func FuzzParseLog(f *testing.F) {
 	f.Add(sampleLog)
 	f.Add("")
 	f.Add("SEND machine=1 cpuTime=1 procTime=0 pid=1 pc=4 sock=1 msgLength=1 destNameLen=0 destName=-\n")
+	// Truncated tails: a crash mid-write tears the final record.
+	f.Add(sampleLog + "SEND machine=1 cpuTi")
+	f.Add("FORK machine=1 cpuTime=0 procTime=0 pid=1 pc=4 newPid=2\nRECEI")
+	f.Add(sampleLog + "SEND machine=1 pid=")
 	f.Fuzz(func(t *testing.T, text string) {
 		events, err := ParseLog([]byte(text))
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrTruncated) {
 			return
 		}
+		// The events — the whole trace, or the valid prefix before a
+		// torn tail — must survive a Format/ParseLog round trip.
 		var relogged []byte
 		for i := range events {
 			relogged = append(relogged, events[i].Format()...)
@@ -28,10 +39,20 @@ func FuzzParseLog(f *testing.F) {
 	})
 }
 
-// FuzzParseBinary checks the binary trace parser on arbitrary bytes.
+// FuzzParseBinary checks the binary trace parser on arbitrary bytes:
+// it must never panic, and whenever it reports a truncated stream it
+// must still hand back the events before the tear.
 func FuzzParseBinary(f *testing.F) {
 	f.Add([]byte{})
+	m := meter.Msg{Header: meter.Header{Machine: 1}, Body: &meter.Fork{PID: 1, PC: 4, NewPID: 2}}
+	whole := m.AppendEncode(m.Encode())
+	f.Add(whole)
+	f.Add(whole[:len(whole)-3]) // second record torn mid-way
+	f.Add(append(append([]byte{}, whole...), 0xde, 0xad))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _ = ParseBinary(data)
+		events, err := ParseBinary(data)
+		if err != nil && !errors.Is(err, ErrTruncated) && events != nil && len(events) > 0 {
+			t.Fatalf("non-truncation error %v returned events", err)
+		}
 	})
 }

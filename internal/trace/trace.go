@@ -9,6 +9,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -16,6 +17,14 @@ import (
 
 	"dpm/internal/meter"
 )
+
+// ErrTruncated reports a trace whose final record is incomplete — the
+// writer (a filter, or a kernel flushing meter buffers) died
+// mid-record, as a machine crash makes routine. The parse functions
+// return it alongside the valid prefix of events, so analyses can
+// still use everything up to the tear; errors.Is distinguishes it from
+// corruption in the middle of a trace, which stays fatal.
+var ErrTruncated = errors.New("trace: truncated final record")
 
 // Event is one parsed event record.
 type Event struct {
@@ -58,16 +67,28 @@ var typeByName = map[string]meter.Type{
 	"TERMPROC":    meter.EvTermProc,
 }
 
-// ParseLog parses a standard-filter text log.
+// ParseLog parses a standard-filter text log. A log whose final
+// record fails to parse yields the valid prefix and ErrTruncated; a
+// bad record anywhere else is an error.
 func ParseLog(data []byte) ([]Event, error) {
+	lines := strings.Split(string(data), "\n")
+	lastNonEmpty := -1
+	for i, line := range lines {
+		if strings.TrimSpace(line) != "" {
+			lastNonEmpty = i
+		}
+	}
 	var events []Event
-	for lineNo, line := range strings.Split(string(data), "\n") {
+	for lineNo, line := range lines {
 		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
 		ev, err := parseLine(line)
 		if err != nil {
+			if lineNo == lastNonEmpty {
+				return events, fmt.Errorf("%w: line %d: %v", ErrTruncated, lineNo+1, err)
+			}
 			return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
 		}
 		ev.Seq = len(events)
@@ -137,15 +158,11 @@ func looksLikeName(val string) bool {
 		strings.HasPrefix(val, "unix:") || strings.HasPrefix(val, "pair:")
 }
 
-// ParseBinary parses a raw meter byte stream.
+// ParseBinary parses a raw meter byte stream. A stream that ends in
+// the middle of a record (or whose tail fails to decode) yields the
+// valid prefix and ErrTruncated.
 func ParseBinary(data []byte) ([]Event, error) {
 	msgs, rest, err := meter.DecodeStream(data)
-	if err != nil {
-		return nil, err
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("trace: %d trailing bytes in meter stream", len(rest))
-	}
 	events := make([]Event, 0, len(msgs))
 	for i, m := range msgs {
 		ev := Event{
@@ -170,6 +187,12 @@ func ParseBinary(data []byte) ([]Event, error) {
 			}
 		}
 		events = append(events, ev)
+	}
+	if err != nil {
+		return events, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if len(rest) != 0 {
+		return events, fmt.Errorf("%w: %d trailing bytes in meter stream", ErrTruncated, len(rest))
 	}
 	return events, nil
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -164,5 +165,49 @@ func TestBinaryAndLogAgree(t *testing.T) {
 		if b.Names[k] != v {
 			t.Fatalf("name %s differs: %v vs %v", k, v, b.Names[k])
 		}
+	}
+}
+
+func TestParseLogTruncatedTail(t *testing.T) {
+	// A crash tears the final record mid-write: the valid prefix comes
+	// back along with ErrTruncated.
+	torn := sampleLog + "SEND machine=1 cpuTi"
+	events, err := ParseLog([]byte(torn))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("prefix has %d events, want 5", len(events))
+	}
+	if events[4].Type != meter.EvTermProc {
+		t.Fatalf("last prefix event = %+v", events[4])
+	}
+}
+
+func TestParseLogMidCorruptionStillFatal(t *testing.T) {
+	// A bad record with valid records after it is corruption, not
+	// truncation: no prefix is returned.
+	lines := strings.Split(strings.TrimSpace(sampleLog), "\n")
+	lines[2] = "GARBAGE this is not a record"
+	events, err := ParseLog([]byte(strings.Join(lines, "\n")))
+	if err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want a non-truncation error", err)
+	}
+	if events != nil {
+		t.Fatalf("events = %v, want nil", events)
+	}
+}
+
+func TestParseBinaryTruncatedTail(t *testing.T) {
+	m1 := meter.Msg{Header: meter.Header{Machine: 1}, Body: &meter.Fork{PID: 1, PC: 4, NewPID: 2}}
+	m2 := meter.Msg{Header: meter.Header{Machine: 1}, Body: &meter.TermProc{PID: 2, PC: 8}}
+	stream := m2.AppendEncode(m1.Encode())
+	torn := stream[:len(stream)-5]
+	events, err := ParseBinary(torn)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if len(events) != 1 || events[0].Type != meter.EvFork {
+		t.Fatalf("prefix = %+v, want the fork record", events)
 	}
 }

@@ -7,7 +7,9 @@ package workloads
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"dpm/internal/core"
@@ -15,28 +17,52 @@ import (
 	"dpm/internal/meter"
 )
 
-// connectRetry dials (host, port), retrying while the server is still
-// coming up. It returns the connected descriptor.
+// ErrConnectTimeout marks a connectRetry that exhausted its budget.
+// The last connect failure is wrapped alongside it, so callers can
+// errors.Is against both the timeout and the underlying cause.
+var ErrConnectTimeout = errors.New("workloads: connect retries exhausted")
+
+// connectBudget bounds how long connectRetry keeps dialing; a variable
+// so tests can shrink it.
+var connectBudget = 10 * time.Second
+
+// connectRetry dials (host, port), retrying with exponential backoff
+// plus jitter while the server is still coming up (or the fabric is
+// misbehaving). It returns the connected descriptor, or an error
+// wrapping ErrConnectTimeout and the last failure once the budget is
+// spent.
 func connectRetry(p *kernel.Process, host string, port uint16) (int, error) {
 	hostID, _, err := p.Machine().Cluster().ResolveFrom(p.Machine(), host)
 	if err != nil {
 		return -1, err
 	}
 	name := meter.InetName(hostID, port)
-	deadline := time.Now().Add(10 * time.Second)
+	const (
+		baseDelay = time.Millisecond
+		maxDelay  = 100 * time.Millisecond
+	)
+	deadline := time.Now().Add(connectBudget)
+	delay := baseDelay
+	var lastErr error
 	for {
 		fd, err := p.Socket(meter.AFInet, kernel.SockStream)
 		if err != nil {
 			return -1, err
 		}
-		if err := p.Connect(fd, name); err == nil {
+		err = p.Connect(fd, name)
+		if err == nil {
 			return fd, nil
 		}
+		lastErr = err
 		_ = p.Close(fd)
 		if time.Now().After(deadline) {
-			return -1, fmt.Errorf("workloads: %s:%d never came up", host, port)
+			return -1, fmt.Errorf("%w: %s:%d after %v: %w",
+				ErrConnectTimeout, host, port, connectBudget, lastErr)
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(delay + time.Duration(rand.Int63n(int64(delay))))
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
 	}
 }
 
