@@ -11,6 +11,8 @@ package dpm_test
 //	C4  BenchmarkOrdering        ordering deduction cost (§4.1)
 //	A1  BenchmarkMeter*          Appendix A codec cost
 //	A2  BenchmarkFilterEngine    filter selection throughput (§3.4)
+//	S1  BenchmarkStoreIngest     event-store write-path cost
+//	S2  BenchmarkQuerySegmentPruning  footer pruning vs full scan
 
 import (
 	"fmt"
@@ -24,6 +26,8 @@ import (
 	"dpm/internal/filter"
 	"dpm/internal/kernel"
 	"dpm/internal/meter"
+	"dpm/internal/query"
+	"dpm/internal/store"
 	"dpm/internal/trace"
 	"dpm/internal/workloads"
 )
@@ -690,6 +694,95 @@ func BenchmarkAnalyses(b *testing.B) {
 			analysis.Timeline(events, 72)
 		}
 	})
+}
+
+// S1: event-store ingest throughput — the cost a filter pays to write
+// a record through the store (framing, CRC, index update, rotation)
+// rather than appending a line to the flat log.
+func BenchmarkStoreIngest(b *testing.B) {
+	events := syntheticTrace(64)
+	lines := make([]string, len(events))
+	var bytes int64
+	for i := range events {
+		lines[i] = events[i].Format()
+		bytes += int64(len(lines[i]))
+	}
+	st, err := store.Open(store.NewMemBackend(), store.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(bytes / int64(len(lines)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &events[i%len(events)]
+		pid := e.Fields["pid"]
+		m := store.Meta{
+			Machine: uint16(e.Machine), Time: uint32(e.CPUTime),
+			Type: uint32(e.Type), PID: uint32(pid),
+		}
+		if err := st.Append(m, lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// S2: segment pruning. A selective query (tight time range plus a
+// machine predicate) over a multi-segment store should scan only the
+// segments whose footer indexes intersect the predicate envelope;
+// compare against the same query with pruning disabled, which parses
+// every frame in the store. The pruned/full-scan ratio is the store's
+// answer to shipping the whole log on every question.
+func BenchmarkQuerySegmentPruning(b *testing.B) {
+	// Small segments so the fixed event count spreads over many of them.
+	be := store.NewMemBackend()
+	st, err := store.Open(be, store.Config{SegmentCap: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := syntheticTrace(4000)
+	for i := range events {
+		e := &events[i]
+		m := store.Meta{
+			Machine: uint16(e.Machine), Time: uint32(e.CPUTime),
+			Type: uint32(e.Type), PID: uint32(e.Fields["pid"]),
+		}
+		if err := st.Append(m, e.Format()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	rd, err := store.OpenReader(be)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rules = "machine=2,cpuTime>=1000,cpuTime<1200,type=1"
+	for _, mode := range []struct {
+		name    string
+		noPrune bool
+	}{{"pruned", false}, {"full-scan", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var st query.Stats
+			for i := 0; i < b.N; i++ {
+				q, err := query.Compile(rules)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q.NoPrune = mode.noPrune
+				res, err := query.Run(rd, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Events) == 0 {
+					b.Fatal("selective query matched nothing")
+				}
+				st = res.Stats
+			}
+			b.ReportMetric(float64(st.Segments), "segments")
+			b.ReportMetric(float64(st.Scanned), "segments-scanned")
+		})
+	}
 }
 
 // BenchmarkTraceParse measures log parsing (stage 2 → stage 3

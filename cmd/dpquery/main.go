@@ -1,0 +1,70 @@
+// dpquery runs selection-rule queries against an event store directory
+// offline — the out-of-band companion to the controller's query
+// command, for stores copied off the cluster (or written by tests and
+// tools through store.DirBackend).
+//
+//	dpquery -store dir [-no-prune] [-stats] [-report] [rule...]
+//
+// Each rule argument is one alternative (an OR line of a templates
+// file) in the Figure 3.3/3.4 syntax, conditions comma-separated:
+//
+//	dpquery -store f1.store 'machine=2,cpuTime>=5000' 'type=4'
+//
+// With no rules every stored record is printed. Matching records print
+// to standard output in trace-log format; -stats prints the pruning
+// statistics to standard error, and -report replaces the record listing
+// with the full analysis report over the matching records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dpm/internal/analysis"
+	"dpm/internal/query"
+	"dpm/internal/store"
+)
+
+func main() {
+	dir := flag.String("store", "", "event store directory (required)")
+	noPrune := flag.Bool("no-prune", false, "scan every segment, ignoring footer indexes")
+	stats := flag.Bool("stats", false, "print scan statistics to standard error")
+	report := flag.Bool("report", false, "print the analysis report instead of the records")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: dpquery -store dir [-no-prune] [-stats] [-report] [rule...]")
+		os.Exit(2)
+	}
+
+	q, err := query.Compile(strings.Join(flag.Args(), "\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q.NoPrune = *noPrune
+
+	rd, err := store.OpenReader(store.NewDirBackend(*dir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := query.Run(rd, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *report {
+		text, err := analysis.Report(res.Events, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+	} else {
+		for i := range res.Events {
+			fmt.Println(res.Events[i].Format())
+		}
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, res.Stats.String())
+	}
+}

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"fmt"
+	"hash/crc32"
 	"strconv"
 	"strings"
 
@@ -31,7 +32,8 @@ func (c *Controller) cmdHelp() {
   status                                             show per-machine reachability
   ps machine                                         list a machine's processes
   stdin jobname machine pid word...                  send input to a process
-  getlog filtername destfile                         retrieve a filter's trace log
+  getlog filtername destfile                         retrieve a filter's trace log (incremental)
+  query filtername destfile [rule...]                query a filter's event store
   source filename                                    run a command script
   sink [filename]                                    redirect command output
   die                                                exit the controller
@@ -643,6 +645,16 @@ func (c *Controller) cmdStdin(args []string) {
 	}
 }
 
+// cmdGetLog retrieves a filter's log, incrementally when possible: the
+// controller remembers how many bytes it has already fetched into the
+// destination (and their CRC), asks the daemon for only the bytes past
+// that offset, and appends them. The daemon echoes the total file size
+// and the CRC of the skipped prefix; a mismatch in either (the log
+// shrank, or was rewritten in place at the same length, as the counting
+// filter does every batch) falls back to a full transfer. Daemons
+// predating the offset extension ignore the trailing field and return
+// the whole file with no size echo, which also lands on the full-copy
+// path.
 func (c *Controller) cmdGetLog(args []string) {
 	if len(args) != 2 {
 		c.printf("usage: getlog filtername destfile\n")
@@ -650,12 +662,30 @@ func (c *Controller) cmdGetLog(args []string) {
 	}
 	c.mu.Lock()
 	f, ok := c.filters[args[0]]
+	var off int
+	var prefixCRC uint32
+	if ok {
+		off = f.LogOffset
+		prefixCRC = f.LogCRC
+	}
 	c.mu.Unlock()
 	if !ok {
 		c.printf("no filter '%s'\n", args[0])
 		return
 	}
-	req := &daemon.ProcReq{Type: daemon.TGetFileReq, UID: c.uid, Path: filter.LogPath(f.Name)}
+	dest := args[1]
+	if !strings.HasPrefix(dest, "/") {
+		dest = "/usr/" + dest
+	}
+	c.mu.Lock()
+	if f.LogDest != dest {
+		// New destination: the remembered offset describes a different
+		// file, so fetch from the top.
+		off, prefixCRC = 0, 0
+	}
+	c.mu.Unlock()
+
+	req := &daemon.ProcReq{Type: daemon.TGetFileReq, UID: c.uid, Path: filter.LogPath(f.Name), Offset: off}
 	rep, err := c.exchange(f.Machine, req.Wire())
 	if err != nil {
 		c.printf("getlog: %v\n", err)
@@ -665,13 +695,104 @@ func (c *Controller) cmdGetLog(args []string) {
 		c.printf("getlog: %s\n", rep.Status)
 		return
 	}
+	total := rep.PID // daemon echoes the full file size here
+	data := []byte(rep.Data)
+	incremental := off > 0 && total == off+len(data) &&
+		rep.Aux == strconv.FormatUint(uint64(prefixCRC), 10)
+	if incremental {
+		if len(data) > 0 {
+			if err := c.machine.FS().Append(dest, c.uid, data); err != nil {
+				c.printf("getlog: %v\n", err)
+				return
+			}
+		}
+	} else {
+		// Full copy: either the first fetch, a prefix mismatch, or a
+		// daemon that did not understand the offset (total == 0). When
+		// the daemon honoured an offset we no longer trust, refetch the
+		// whole file.
+		if off > 0 && total > 0 && len(data) < total {
+			req.Offset = 0
+			rep, err = c.exchange(f.Machine, req.Wire())
+			if err != nil {
+				c.printf("getlog: %v\n", err)
+				return
+			}
+			if !rep.OK() {
+				c.printf("getlog: %s\n", rep.Status)
+				return
+			}
+			total = rep.PID
+			data = []byte(rep.Data)
+		}
+		if err := c.machine.FS().Create(dest, c.uid, fsys.PrivateMode, data); err != nil {
+			c.printf("getlog: %v\n", err)
+			return
+		}
+		off, prefixCRC = 0, 0
+	}
+	c.mu.Lock()
+	f.LogDest = dest
+	if total >= off+len(data) && total > 0 {
+		f.LogOffset = off + len(data)
+		f.LogCRC = crc32.Update(prefixCRC, crc32.IEEETable, data)
+	} else {
+		// Legacy daemon (no size echo): do not track an offset; the next
+		// getlog is another full transfer.
+		f.LogOffset, f.LogCRC = 0, 0
+	}
+	c.mu.Unlock()
+}
+
+// cmdQuery runs selection rules against a filter's event store. The
+// rules travel to the daemon on the filter's machine and execute there
+// against the indexed store — only matching records cross the network,
+// the point of the store's segment indexes. Each rule argument is one
+// alternative (an OR line of the templates file); within a rule,
+// conditions are comma-separated with no spaces, e.g.
+//
+//	query f1 out machine=2,cpuTime>=5000 type=4
+//
+// With no rules, every stored record is returned. The matching records
+// land in destfile in trace-log format; the match statistics print to
+// the terminal.
+func (c *Controller) cmdQuery(args []string) {
+	if len(args) < 2 {
+		c.printf("usage: query filtername destfile [rule...]\n")
+		return
+	}
+	c.mu.Lock()
+	f, ok := c.filters[args[0]]
+	c.mu.Unlock()
+	if !ok {
+		c.printf("no filter '%s'\n", args[0])
+		return
+	}
+	req := &daemon.QueryReq{
+		Dir:   filter.StorePath(f.Name),
+		Rules: strings.Join(args[2:], "\n"),
+		UID:   c.uid,
+	}
+	rep, err := c.exchange(f.Machine, req.Wire())
+	if err != nil {
+		c.printf("query: %v\n", err)
+		return
+	}
+	if !rep.OK() {
+		c.printf("query: %s\n", rep.Status)
+		return
+	}
+	// The reply is one stats line followed by the matching records.
+	stats, body, _ := strings.Cut(rep.Data, "\n")
 	dest := args[1]
 	if !strings.HasPrefix(dest, "/") {
 		dest = "/usr/" + dest
 	}
-	if err := c.machine.FS().Create(dest, c.uid, fsys.PrivateMode, []byte(rep.Data)); err != nil {
-		c.printf("getlog: %v\n", err)
+	if err := c.machine.FS().Create(dest, c.uid, fsys.PrivateMode, []byte(body)); err != nil {
+		c.printf("query: %v\n", err)
+		return
 	}
+	c.printf("query '%s': %s\n", f.Name, stats)
 }
 
 func (c *Controller) cmdSource(args []string, depth int) {

@@ -25,6 +25,14 @@ type FilterInfo struct {
 	PID     int
 	Machine string
 	Port    uint16
+	// LogOffset, LogCRC and LogDest track incremental getlog state: how
+	// many bytes of the filter's log have already been fetched, the CRC
+	// of those bytes, and the destination file they went to. A repeat
+	// getlog to the same destination transfers only the bytes past
+	// LogOffset.
+	LogOffset int
+	LogCRC    uint32
+	LogDest   string
 }
 
 // JobProc is the controller's record of one process in a job.
@@ -216,6 +224,26 @@ func validToken(tok string) bool {
 	return tok != ""
 }
 
+// validRuleToken checks the looser lexical rules of query selection
+// rules: beyond the literal characters, the Figure 3.3/3.4 template
+// syntax needs its operators ('=', '!', '<', '>'), the wildcard '*',
+// the discard marker '#', and the condition separator ','.
+func validRuleToken(tok string) bool {
+	for _, r := range tok {
+		switch {
+		case r >= '0' && r <= '9':
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+		case r == '/' || r == '.' || r == '-':
+		case r == '=' || r == '!' || r == '<' || r == '>':
+		case r == '*' || r == '#' || r == ',':
+		default:
+			return false
+		}
+	}
+	return tok != ""
+}
+
 // Exec executes one command line and returns false when the
 // controller has exited (die).
 func (c *Controller) Exec(line string) bool {
@@ -228,7 +256,18 @@ func (c *Controller) exec(line string, depth int) bool {
 	if len(fields) == 0 {
 		return true
 	}
-	for _, tok := range fields {
+	isQuery := strings.EqualFold(fields[0], "query")
+	for i, tok := range fields {
+		// Query selection rules (everything after "query name dest")
+		// use the template syntax, whose operators fall outside the
+		// section 4.3 literal alphabet.
+		if isQuery && i >= 3 {
+			if !validRuleToken(tok) {
+				c.printf("bad token '%s'\n", tok)
+				return true
+			}
+			continue
+		}
 		if !validToken(tok) {
 			c.printf("bad token '%s'\n", tok)
 			return true
@@ -271,6 +310,8 @@ func (c *Controller) exec(line string, depth int) bool {
 		c.cmdStdin(args)
 	case "getlog":
 		c.cmdGetLog(args)
+	case "query":
+		c.cmdQuery(args)
 	case "source":
 		c.cmdSource(args, depth)
 	case "sink":

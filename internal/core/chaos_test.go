@@ -9,7 +9,10 @@ import (
 
 	"dpm/internal/controller"
 	"dpm/internal/daemon"
+	"dpm/internal/filter"
 	"dpm/internal/kernel"
+	"dpm/internal/query"
+	"dpm/internal/store"
 	"dpm/internal/trace"
 )
 
@@ -207,10 +210,12 @@ func TestChaosSoak(t *testing.T) {
 	})
 
 	// The filter's trace parses; a tail torn by a crash is tolerated.
+	var logged []trace.Event
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		events, err := s.ReadTrace("yellow", "f")
 		if (err == nil || errors.Is(err, trace.ErrTruncated)) && len(events) > 0 {
+			logged = events
 			break
 		}
 		if time.Now().After(deadline) {
@@ -218,4 +223,41 @@ func TestChaosSoak(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
+
+	// The filter dual-writes through the event store (store first, flat
+	// log second within each batch), so everything the flat log showed
+	// must be queryable from the store — the soak's proof that the
+	// store-backed sink survives the same faults the log does.
+	be := store.NewFsysBackend(yellow(t, s).FS(), s.UID, filter.StorePath("f"))
+	matchAll, err := query.Compile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		var stored int
+		rd, rerr := store.OpenReader(be)
+		if rerr == nil {
+			if res, qerr := query.Run(rd, matchAll); qerr == nil {
+				stored = len(res.Events)
+			}
+		}
+		if stored >= len(logged) && stored > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("store holds %d events, flat log had %d", stored, len(logged))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// yellow fetches the controller's machine, failing the test on error.
+func yellow(t *testing.T, s *System) *kernel.Machine {
+	t.Helper()
+	m, err := s.Machine("yellow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }

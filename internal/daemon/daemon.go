@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"strconv"
@@ -12,6 +13,8 @@ import (
 
 	"dpm/internal/kernel"
 	"dpm/internal/meter"
+	"dpm/internal/query"
+	"dpm/internal/store"
 )
 
 // Port is the well-known port every meterdaemon listens on. "A
@@ -189,6 +192,12 @@ func (d *daemonState) handle(w *WireMsg) *Reply {
 		return d.handleList()
 	case TStdinReq:
 		return d.handleStdin(ParseProcReq(w))
+	case TQueryReq:
+		req, err := ParseQueryReq(w)
+		if err != nil {
+			return &Reply{Type: TQueryRep, Status: err.Error()}
+		}
+		return d.handleQuery(req)
 	default:
 		return &Reply{Type: TCreateRep, Status: fmt.Sprintf("unknown request %v", w.Type)}
 	}
@@ -430,7 +439,48 @@ func (d *daemonState) handleGetFile(req *ProcReq) *Reply {
 	if err != nil {
 		return &Reply{Type: TGetFileRep, Status: err.Error()}
 	}
-	return &Reply{Type: TGetFileRep, Status: "ok", Data: string(data)}
+	// Incremental retrieval: resume from the requested offset when it
+	// still lies within the file; a shrunken file resets to a full
+	// transfer. The reply's PID carries the file's total size and Aux
+	// the CRC of the skipped prefix, so the requester can verify the
+	// splice (and detect an in-place rewrite) before appending.
+	off := req.Offset
+	if off < 0 || off > len(data) {
+		off = 0
+	}
+	return &Reply{
+		Type: TGetFileRep, PID: len(data), Status: "ok",
+		Data: string(data[off:]),
+		Aux:  strconv.FormatUint(uint64(crc32.ChecksumIEEE(data[:off])), 10),
+	}
+}
+
+// handleQuery runs a selection-rule query against an event store on
+// this machine — the query layer's whole point is that this executes
+// where the data lives, so only matching records travel back. The
+// reply Data is one statistics line followed by the matching records.
+func (d *daemonState) handleQuery(req *QueryReq) *Reply {
+	q, err := query.Compile(req.Rules)
+	if err != nil {
+		return &Reply{Type: TQueryRep, Status: err.Error()}
+	}
+	q.NoPrune = req.NoPrune
+	rd, err := store.OpenReader(store.NewFsysBackend(d.p.Machine().FS(), req.UID, req.Dir))
+	if err != nil {
+		return &Reply{Type: TQueryRep, Status: err.Error()}
+	}
+	res, err := query.Run(rd, q)
+	if err != nil {
+		return &Reply{Type: TQueryRep, Status: err.Error()}
+	}
+	var b strings.Builder
+	b.WriteString(res.Stats.String())
+	b.WriteByte('\n')
+	for i := range res.Events {
+		b.WriteString(res.Events[i].Format())
+		b.WriteByte('\n')
+	}
+	return &Reply{Type: TQueryRep, Status: "ok", Data: b.String()}
 }
 
 // handleGateway dispatches datagrams arriving on the gateway socket:

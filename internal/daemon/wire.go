@@ -64,6 +64,12 @@ const (
 	// process" (section 3.5.2).
 	TStdinReq MsgType = 31
 	TStdinRep MsgType = 32
+	// TQueryReq/TQueryRep run a selection-rule query against an event
+	// store on the daemon's machine. The query executes where the data
+	// lives; only the matching records and the scan statistics travel
+	// back — the opposite of getfile's ship-the-whole-log discipline.
+	TQueryReq MsgType = 33
+	TQueryRep MsgType = 34
 )
 
 var typeNames = map[MsgType]string{
@@ -78,6 +84,7 @@ var typeNames = map[MsgType]string{
 	TReleaseReq: "release request", TReleaseRep: "release reply",
 	TListReq: "list request", TListRep: "list reply",
 	TStdinReq: "stdin request", TStdinRep: "stdin reply",
+	TQueryReq: "query request", TQueryRep: "query reply",
 }
 
 func (t MsgType) String() string {
@@ -251,6 +258,11 @@ type Reply struct {
 	PID    int
 	Status string // "ok" or an error description
 	Data   string // getfile contents
+	// Aux carries reply-type-specific extra data as a trailing wire
+	// field old parsers ignore. An incremental getfile reply uses it
+	// for the CRC of the file prefix the requested offset skipped, so
+	// the requester can detect an in-place rewrite.
+	Aux string
 }
 
 // OK reports whether the reply indicates success.
@@ -258,12 +270,12 @@ func (r *Reply) OK() bool { return r.Status == "ok" }
 
 // Wire encodes the reply.
 func (r *Reply) Wire() *WireMsg {
-	return &WireMsg{Type: r.Type, Fields: []string{strconv.Itoa(r.PID), r.Status, r.Data}}
+	return &WireMsg{Type: r.Type, Fields: []string{strconv.Itoa(r.PID), r.Status, r.Data, r.Aux}}
 }
 
 // ParseReply decodes any reply-shaped message.
 func ParseReply(w *WireMsg) *Reply {
-	return &Reply{Type: w.Type, PID: w.num(0), Status: w.str(1), Data: w.str(2)}
+	return &Reply{Type: w.Type, PID: w.num(0), Status: w.str(1), Data: w.str(2), Aux: w.str(3)}
 }
 
 // ProcReq is the common request shape for setflags, start, stop, kill,
@@ -277,6 +289,11 @@ type ProcReq struct {
 	FilterPort uint16
 	FilterHost string
 	Path       string // getfile
+	// Offset is the byte offset a getfile request resumes from, so
+	// repeated retrievals of a growing log transfer only the new bytes.
+	// It rides as a trailing field old parsers ignore (and old encoders
+	// omit, which reads as zero: a full transfer).
+	Offset int
 }
 
 // Wire encodes the request.
@@ -288,6 +305,7 @@ func (r *ProcReq) Wire() *WireMsg {
 		strconv.Itoa(int(r.FilterPort)),
 		r.FilterHost,
 		r.Path,
+		strconv.Itoa(r.Offset),
 	}}
 }
 
@@ -302,7 +320,44 @@ func ParseProcReq(w *WireMsg) *ProcReq {
 		FilterPort: uint16(w.num(3)),
 		FilterHost: w.str(4),
 		Path:       w.str(5),
+		Offset:     w.num(6),
 	}
+}
+
+// QueryReq asks a daemon to run a selection-rule query against an
+// event store on its machine. Rules use the Figure 3.3–3.4 templates
+// syntax, one rule per line. The reply's Data carries one statistics
+// line ("segments=... scanned=... pruned=... records=... matched=...")
+// followed by the matching records in standard log-line format.
+type QueryReq struct {
+	Dir     string // store directory on the daemon's machine
+	Rules   string // selection rules; empty selects everything
+	UID     int
+	NoPrune bool // diagnostic: scan every segment
+}
+
+// Wire encodes the request.
+func (r *QueryReq) Wire() *WireMsg {
+	noPrune := "0"
+	if r.NoPrune {
+		noPrune = "1"
+	}
+	return &WireMsg{Type: TQueryReq, Fields: []string{
+		r.Dir, r.Rules, strconv.Itoa(r.UID), noPrune,
+	}}
+}
+
+// ParseQueryReq decodes a query request body.
+func ParseQueryReq(w *WireMsg) (*QueryReq, error) {
+	if w.Type != TQueryReq {
+		return nil, fmt.Errorf("%w: not a query request", ErrWireCorrupt)
+	}
+	return &QueryReq{
+		Dir:     w.str(0),
+		Rules:   w.str(1),
+		UID:     w.num(2),
+		NoPrune: w.str(3) == "1",
+	}, nil
 }
 
 // StateChange is the daemon-initiated notification that a process has

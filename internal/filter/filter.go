@@ -7,11 +7,18 @@ import (
 	"dpm/internal/fsys"
 	"dpm/internal/kernel"
 	"dpm/internal/meter"
+	"dpm/internal/store"
 )
 
 // LogPath returns the log file a filter of the given name writes, in
 // the /usr/tmp directory the paper specifies (section 3.4).
 func LogPath(name string) string { return "/usr/tmp/" + name + ".log" }
+
+// StorePath returns the event-store directory a filter of the given
+// name writes beside its flat log. The flat log remains the
+// compatibility surface (getlog, ReadTrace); the store is the indexed
+// form queries run against.
+func StorePath(name string) string { return "/usr/tmp/" + name + ".store" }
 
 // DefaultDescriptionsPath and DefaultTemplatesPath are the standard
 // file names the controller falls back to ("standard filenames
@@ -54,20 +61,31 @@ func NewEngine(descData, tmplData []byte) (*Engine, error) {
 // calls plus the new data, and returns the formatted log lines of the
 // records that survive selection, together with the unconsumed tail.
 func (e *Engine) Process(buf []byte) (lines []string, rest []byte, err error) {
+	rest, err = e.ProcessEach(buf, func(_ *Record, line string) {
+		lines = append(lines, line)
+	})
+	return lines, rest, err
+}
+
+// ProcessEach is Process with a per-record callback: each surviving
+// record and its formatted log line are handed to emit as they are
+// extracted, so a caller can fan one record out to several sinks (the
+// flat log and the event store) without a second framing pass.
+func (e *Engine) ProcessEach(buf []byte, emit func(rec *Record, line string)) (rest []byte, err error) {
 	for {
 		if len(buf) < meter.HeaderSize {
-			return lines, buf, nil
+			return buf, nil
 		}
 		size := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
 		if size < meter.HeaderSize || size > meter.MaxMsgSize {
-			return lines, buf, fmt.Errorf("filter: corrupt size field %d", size)
+			return buf, fmt.Errorf("filter: corrupt size field %d", size)
 		}
 		if len(buf) < size {
-			return lines, buf, nil
+			return buf, nil
 		}
 		rec, err := e.desc.Extract(buf[:size])
 		if err != nil {
-			return lines, buf, err
+			return buf, err
 		}
 		buf = buf[size:]
 		e.Received++
@@ -77,7 +95,7 @@ func (e *Engine) Process(buf []byte) (lines []string, rest []byte, err error) {
 			continue
 		}
 		e.Kept++
-		lines = append(lines, rec.Format(discards))
+		emit(rec, rec.Format(discards))
 	}
 }
 
@@ -129,6 +147,16 @@ func Main(p *kernel.Process) int {
 		return 1
 	}
 
+	// The event store rides beside the flat log: same records, framed
+	// and indexed so queries can prune segments instead of shipping the
+	// whole log (internal/store). Opening recovers any segments a
+	// previous incarnation left unsealed.
+	st, err := store.Open(store.NewFsysBackend(p.Machine().FS(), p.UID(), StorePath(name)), store.Config{})
+	if err != nil {
+		p.Printf("filter: store: %v\n", err)
+		return 1
+	}
+
 	lfd, err := p.Socket(meter.AFInet, kernel.SockStream)
 	if err != nil {
 		p.Printf("filter: %v\n", err)
@@ -173,7 +201,20 @@ func Main(p *kernel.Process) int {
 				continue
 			}
 			buf := append(conns[fd], data...)
-			lines, rest, err := eng.Process(buf)
+			var out []byte
+			var storeErr error
+			rest, err := eng.ProcessEach(buf, func(rec *Record, line string) {
+				out = append(out, line...)
+				out = append(out, '\n')
+				pid, _ := rec.Field("pid")
+				m := store.Meta{
+					Machine: rec.Machine, Time: rec.CPUTime,
+					Type: uint32(rec.Type), PID: uint32(pid),
+				}
+				if err := st.Append(m, line); err != nil && storeErr == nil {
+					storeErr = err
+				}
+			})
 			if err != nil {
 				p.Printf("filter: %v\n", err)
 				_ = p.Close(fd)
@@ -181,12 +222,10 @@ func Main(p *kernel.Process) int {
 				continue
 			}
 			conns[fd] = rest
-			if len(lines) > 0 {
-				var out []byte
-				for _, l := range lines {
-					out = append(out, l...)
-					out = append(out, '\n')
-				}
+			if storeErr != nil {
+				p.Printf("filter: store append: %v\n", storeErr)
+			}
+			if len(out) > 0 {
 				if err := p.AppendFile(logPath, out); err != nil {
 					p.Printf("filter: log append: %v\n", err)
 				}

@@ -26,6 +26,11 @@ var opNames = map[Op]string{OpEQ: "=", OpNE: "!=", OpGE: ">=", OpLE: "<=", OpGT:
 
 func (o Op) String() string { return opNames[o] }
 
+// Eval applies the comparison to two values. It is exported so other
+// rule evaluators (the query engine runs these rules against stored
+// trace events) share the exact operator semantics.
+func (o Op) Eval(a, b uint64) bool { return o.eval(a, b) }
+
 func (o Op) eval(a, b uint64) bool {
 	switch o {
 	case OpEQ:

@@ -1,0 +1,484 @@
+// Package query evaluates the paper's selection-rule syntax (Figures
+// 3.3 and 3.4: the operators > < = != >= <=, the '*' wildcard, and the
+// '#' discard prefix) against a segmented event store — the third
+// stage of the measurement model applied to stored data instead of a
+// live meter stream.
+//
+// A query is a templates file: each line is an alternative rule, each
+// rule a conjunction of conditions. Evaluation proceeds in two tiers:
+//
+//   - Segment pruning. Each rule compiles to a conservative envelope —
+//     a cpuTime window plus machine/pid/type bitmap constraints — that
+//     any matching record must fall inside. A sealed segment whose
+//     footer index intersects no rule's envelope cannot contain a
+//     match and is skipped without parsing a single frame.
+//   - Record selection. Scanned segments stream their records through
+//     the full rule semantics, including '#' projection, and the
+//     per-shard streams merge into one timestamp-ordered result, the
+//     same ordering discipline as trace.Merge.
+package query
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"dpm/internal/filter"
+	"dpm/internal/meter"
+	"dpm/internal/store"
+	"dpm/internal/trace"
+)
+
+// Query is a compiled query: the parsed rules and the pruning envelope
+// of each.
+type Query struct {
+	Rules filter.Rules
+	// NoPrune disables footer pruning, scanning every segment — the
+	// diagnostic baseline the benchmarks compare against.
+	NoPrune bool
+
+	bounds []bounds
+}
+
+// Compile parses selection rules (one per line, Figure 3.3 syntax) and
+// derives their pruning envelopes. Empty input compiles to the
+// match-everything query, as with filter templates.
+func Compile(text string) (*Query, error) {
+	rules, err := filter.ParseRules([]byte(text))
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Rules: rules}
+	for _, r := range rules {
+		q.bounds = append(q.bounds, boundsOf(r))
+	}
+	return q, nil
+}
+
+// bounds is the pruning envelope of one rule: every record the rule
+// can match lies inside it, so a segment whose footer index misses it
+// cannot satisfy the rule. Zero bitmap fields mean unconstrained.
+type bounds struct {
+	minTime, maxTime uint64
+	machines         uint64
+	pids             uint64
+	types            uint32
+	// empty marks a self-contradictory rule (machine=1,machine=2): no
+	// record can match, so no segment needs scanning for it.
+	empty bool
+}
+
+func boundsOf(r filter.Rule) bounds {
+	b := bounds{maxTime: ^uint64(0)}
+	narrowTime := func(lo, hi uint64) {
+		if lo > b.minTime {
+			b.minTime = lo
+		}
+		if hi < b.maxTime {
+			b.maxTime = hi
+		}
+	}
+	narrow64 := func(cur *uint64, bit uint64) {
+		if *cur == 0 {
+			*cur = bit
+		} else if *cur&bit == 0 {
+			b.empty = true
+		} else {
+			*cur &= bit
+		}
+	}
+	narrow32 := func(cur *uint32, bit uint32) {
+		if *cur == 0 {
+			*cur = bit
+		} else if *cur&bit == 0 {
+			b.empty = true
+		} else {
+			*cur &= bit
+		}
+	}
+	for _, c := range r {
+		if c.Wildcard || c.FieldRef != "" {
+			continue
+		}
+		switch c.Field {
+		case "cpuTime":
+			switch c.Op {
+			case filter.OpEQ:
+				narrowTime(c.Value, c.Value)
+			case filter.OpGE:
+				narrowTime(c.Value, ^uint64(0))
+			case filter.OpGT:
+				if c.Value == ^uint64(0) {
+					b.empty = true
+				} else {
+					narrowTime(c.Value+1, ^uint64(0))
+				}
+			case filter.OpLE:
+				narrowTime(0, c.Value)
+			case filter.OpLT:
+				if c.Value == 0 {
+					b.empty = true
+				} else {
+					narrowTime(0, c.Value-1)
+				}
+			}
+		case "machine":
+			if c.Op == filter.OpEQ {
+				narrow64(&b.machines, store.MachineBit(c.Value))
+			}
+		case "pid":
+			if c.Op == filter.OpEQ {
+				narrow64(&b.pids, store.PIDBit(c.Value))
+			}
+		case "type", "traceType":
+			if c.Op == filter.OpEQ {
+				narrow32(&b.types, store.TypeBit(c.Value))
+			}
+		}
+	}
+	if b.minTime > b.maxTime {
+		b.empty = true
+	}
+	return b
+}
+
+func (b bounds) admits(x store.Index) bool {
+	if b.empty || x.Count == 0 {
+		return false
+	}
+	if x.MaxTime < b.minTime || x.MinTime > b.maxTime {
+		return false
+	}
+	if b.machines != 0 && b.machines&x.Machines == 0 {
+		return false
+	}
+	if b.pids != 0 && b.pids&x.PIDs == 0 {
+		return false
+	}
+	if b.types != 0 && b.types&x.Types == 0 {
+		return false
+	}
+	return true
+}
+
+// Admits reports whether a segment with the given footer index could
+// contain a matching record: true when any rule's envelope intersects
+// the index (or when pruning is off or there are no rules).
+func (q *Query) Admits(x store.Index) bool {
+	if q.NoPrune || len(q.Rules) == 0 {
+		return true
+	}
+	for _, b := range q.bounds {
+		if b.admits(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// eventField mirrors filter.Record.Field over a parsed trace event:
+// the header fields by name, then the body fields. The "size" header
+// field is not carried in log lines and so cannot be queried.
+func eventField(e *trace.Event, name string) (uint64, bool) {
+	switch name {
+	case "machine":
+		return uint64(e.Machine), true
+	case "cpuTime":
+		return uint64(e.CPUTime), true
+	case "procTime":
+		return uint64(e.ProcTime), true
+	case "type", "traceType":
+		return uint64(e.Type), true
+	}
+	v, ok := e.Fields[name]
+	return v, ok
+}
+
+// matchRule mirrors filter.Rule's record matching over a trace event,
+// returning the discard set on a match.
+func matchRule(r filter.Rule, e *trace.Event) (bool, map[string]bool) {
+	discards := make(map[string]bool)
+	for _, c := range r {
+		if c.Discard {
+			discards[c.Field] = true
+		}
+		if c.Wildcard {
+			if _, ok := eventField(e, c.Field); !ok {
+				return false, nil
+			}
+			continue
+		}
+		if c.FieldRef != "" {
+			if an, aok := e.Names[c.Field]; aok {
+				bn, bok := e.Names[c.FieldRef]
+				if !bok {
+					return false, nil
+				}
+				eq := an == bn
+				if (c.Op == filter.OpEQ && !eq) || (c.Op == filter.OpNE && eq) {
+					return false, nil
+				}
+				continue
+			}
+			a, aok := eventField(e, c.Field)
+			b, bok := eventField(e, c.FieldRef)
+			if !aok || !bok || !c.Op.Eval(a, b) {
+				return false, nil
+			}
+			continue
+		}
+		v, ok := eventField(e, c.Field)
+		if !ok || !c.Op.Eval(v, c.Value) {
+			return false, nil
+		}
+	}
+	return true, discards
+}
+
+// Match evaluates the query against one event. With no rules every
+// event matches; otherwise the first matching rule's discards apply.
+func (q *Query) Match(e *trace.Event) (bool, map[string]bool) {
+	if len(q.Rules) == 0 {
+		return true, nil
+	}
+	for _, r := range q.Rules {
+		if ok, d := matchRule(r, e); ok {
+			return true, d
+		}
+	}
+	return false, nil
+}
+
+// project applies a matched rule's '#' discards to the event. Header
+// fields are never dropped, mirroring the filter's record formatting,
+// which always prints them.
+func project(e trace.Event, discards map[string]bool) trace.Event {
+	drop := false
+	for k := range discards {
+		if _, ok := e.Fields[k]; ok {
+			drop = true
+		}
+		if _, ok := e.Names[k]; ok {
+			drop = true
+		}
+	}
+	if !drop {
+		return e
+	}
+	fields := make(map[string]uint64, len(e.Fields))
+	for k, v := range e.Fields {
+		if !discards[k] {
+			fields[k] = v
+		}
+	}
+	names := make(map[string]meter.Name, len(e.Names))
+	for k, v := range e.Names {
+		if !discards[k] {
+			names[k] = v
+		}
+	}
+	e.Fields, e.Names = fields, names
+	return e
+}
+
+// Stats describes how a query executed.
+type Stats struct {
+	Segments int // segments in the store snapshot
+	Scanned  int // segments whose frames were parsed
+	Pruned   int // segments skipped on footer evidence alone
+	Records  int // records examined in scanned segments
+	Matched  int // records selected
+	BadLines int // stored lines the trace parser rejected (skipped)
+}
+
+// String renders the stats in the form the controller prints.
+func (s Stats) String() string {
+	return fmt.Sprintf("segments=%d scanned=%d pruned=%d records=%d matched=%d",
+		s.Segments, s.Scanned, s.Pruned, s.Records, s.Matched)
+}
+
+// Result is a fully-drained query.
+type Result struct {
+	Events []trace.Event
+	Stats  Stats
+}
+
+// shardCursor streams one shard's matching events in cpuTime order,
+// loading admitted segments lazily: a segment is parsed only when the
+// stream cannot otherwise prove its next event is safe to emit.
+type shardCursor struct {
+	q     *Query
+	segs  []*store.ReaderSegment // admitted, not yet loaded
+	buf   []trace.Event          // matching events, sorted by CPUTime
+	idx   int
+	stats *Stats
+}
+
+// minRemaining is the smallest timestamp any unloaded segment could
+// contain; an unsealed segment's contents are unknown, so it pins the
+// floor to zero.
+func (c *shardCursor) minRemaining() uint64 {
+	min := ^uint64(0)
+	for _, rs := range c.segs {
+		if !rs.Sealed {
+			return 0
+		}
+		if rs.Index.MinTime < min {
+			min = rs.Index.MinTime
+		}
+	}
+	return min
+}
+
+// ready ensures the cursor's head (if any) is safe to emit, loading
+// segments until no unloaded segment could precede it. It returns
+// false when the shard is drained.
+func (c *shardCursor) ready() (bool, error) {
+	for {
+		if c.idx < len(c.buf) &&
+			(len(c.segs) == 0 || uint64(c.buf[c.idx].CPUTime) <= c.minRemaining()) {
+			return true, nil
+		}
+		if len(c.segs) == 0 {
+			return false, nil
+		}
+		if err := c.loadNext(); err != nil {
+			return false, err
+		}
+	}
+}
+
+// loadNext parses the next admitted segment and merges its matching
+// events into the buffer. A torn unsealed tail is tolerated, as with
+// trace logs; corruption of a sealed segment is fatal to the query.
+func (c *shardCursor) loadNext() error {
+	rs := c.segs[0]
+	c.segs = c.segs[1:]
+	seg, err := rs.Load()
+	if err != nil && !errors.Is(err, store.ErrTruncated) {
+		return err
+	}
+	c.stats.Scanned++
+	c.stats.Records += len(seg.Recs)
+	var matched []trace.Event
+	for _, rec := range seg.Recs {
+		evs, err := trace.ParseLog([]byte(rec.Line))
+		if err != nil || len(evs) != 1 {
+			c.stats.BadLines++
+			continue
+		}
+		ev := evs[0]
+		ok, discards := c.q.Match(&ev)
+		if !ok {
+			continue
+		}
+		c.stats.Matched++
+		matched = append(matched, project(ev, discards))
+	}
+	c.buf = trace.Merge(c.buf[c.idx:], matched)
+	c.idx = 0
+	return nil
+}
+
+// cursorHeap orders cursors by their head event's timestamp (shard id
+// breaking ties for determinism).
+type cursorHeap []*heapEntry
+
+type heapEntry struct {
+	c     *shardCursor
+	shard int
+}
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	a, b := h[i].c.buf[h[i].c.idx], h[j].c.buf[h[j].c.idx]
+	if a.CPUTime != b.CPUTime {
+		return a.CPUTime < b.CPUTime
+	}
+	return h[i].shard < h[j].shard
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)   { *h = append(*h, x.(*heapEntry)) }
+func (h *cursorHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Iter streams a query's results in cpuTime order across every shard.
+type Iter struct {
+	h       cursorHeap
+	stats   Stats
+	nextSeq int
+}
+
+// Scan starts a query against a store snapshot: prunes segments by
+// footer, then sets up the per-shard cursors and their merge.
+func Scan(rd *store.Reader, q *Query) (*Iter, error) {
+	it := &Iter{}
+	for shardID, segs := range rd.Shards() {
+		cur := &shardCursor{q: q, stats: &it.stats}
+		for _, rs := range segs {
+			it.stats.Segments++
+			if rs.Sealed && !q.Admits(rs.Index) {
+				it.stats.Pruned++
+				continue
+			}
+			cur.segs = append(cur.segs, rs)
+		}
+		ok, err := cur.ready()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			heap.Push(&it.h, &heapEntry{c: cur, shard: shardID})
+		}
+	}
+	return it, nil
+}
+
+// Next returns the next matching event; ok=false means the stream is
+// drained. Events are re-sequenced in merge order, as trace.Merge
+// does.
+func (it *Iter) Next() (trace.Event, bool, error) {
+	if it.h.Len() == 0 {
+		return trace.Event{}, false, nil
+	}
+	e := it.h[0]
+	ev := e.c.buf[e.c.idx]
+	e.c.idx++
+	ok, err := e.c.ready()
+	if err != nil {
+		return trace.Event{}, false, err
+	}
+	if ok {
+		heap.Fix(&it.h, 0)
+	} else {
+		heap.Pop(&it.h)
+	}
+	ev.Seq = it.nextSeq
+	it.nextSeq++
+	return ev, true, nil
+}
+
+// Stats returns the counters accumulated so far; they are final once
+// Next has reported a drained stream.
+func (it *Iter) Stats() Stats { return it.stats }
+
+// Run drains a query and returns all matching events with the final
+// statistics.
+func Run(rd *store.Reader, q *Query) (*Result, error) {
+	it, err := Scan(rd, q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for {
+		ev, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		res.Events = append(res.Events, ev)
+	}
+	res.Stats = it.Stats()
+	return res, nil
+}

@@ -1,0 +1,274 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"dpm/internal/meter"
+	"dpm/internal/store"
+	"dpm/internal/trace"
+)
+
+// buildStore writes n synthetic SEND/RECV events into a fresh store
+// with small segments, flushed so every segment is sealed and indexed.
+func buildStore(t *testing.T, n int, cfg store.Config) (store.Backend, []trace.Event) {
+	t.Helper()
+	be := store.NewMemBackend()
+	st, err := store.Open(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []trace.Event
+	for i := 0; i < n; i++ {
+		typ := meter.EvSend
+		if i%2 == 1 {
+			typ = meter.EvRecv
+		}
+		e := trace.Event{
+			Seq: i, Type: typ, Event: typ.String(),
+			Machine: i%4 + 1, CPUTime: int64(i * 10),
+			Fields: map[string]uint64{
+				"pid": uint64(100 + i%4), "sock": 3, "msgLength": uint64(64 + i),
+			},
+			Names: map[string]meter.Name{},
+		}
+		events = append(events, e)
+		m := store.Meta{
+			Machine: uint16(e.Machine), Time: uint32(e.CPUTime),
+			Type: uint32(e.Type), PID: uint32(e.Fields["pid"]),
+		}
+		if err := st.Append(m, e.Format()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return be, events
+}
+
+func run(t *testing.T, be store.Backend, rules string, noPrune bool) *Result {
+	t.Helper()
+	q, err := Compile(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.NoPrune = noPrune
+	rd, err := store.OpenReader(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(rd, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestQueryMatchAll(t *testing.T) {
+	be, events := buildStore(t, 100, store.Config{SegmentCap: 512})
+	res := run(t, be, "", false)
+	if len(res.Events) != len(events) {
+		t.Fatalf("match-all returned %d events, want %d", len(res.Events), len(events))
+	}
+	// The merged stream must be cpuTime-ordered and re-sequenced.
+	for i, e := range res.Events {
+		if e.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, e.Seq)
+		}
+		if i > 0 && e.CPUTime < res.Events[i-1].CPUTime {
+			t.Fatalf("events out of order at %d: %d < %d", i, e.CPUTime, res.Events[i-1].CPUTime)
+		}
+	}
+	if res.Stats.Pruned != 0 {
+		t.Fatalf("match-all pruned %d segments", res.Stats.Pruned)
+	}
+}
+
+func TestQueryTimeRangePrunes(t *testing.T) {
+	be, _ := buildStore(t, 400, store.Config{SegmentCap: 512})
+	rules := "cpuTime>=1000,cpuTime<1200"
+	res := run(t, be, rules, false)
+	if res.Stats.Pruned == 0 {
+		t.Fatalf("selective time range pruned nothing: %+v", res.Stats)
+	}
+	if res.Stats.Scanned+res.Stats.Pruned != res.Stats.Segments {
+		t.Fatalf("scanned+pruned != segments: %+v", res.Stats)
+	}
+	full := run(t, be, rules, true)
+	if full.Stats.Pruned != 0 || full.Stats.Scanned != full.Stats.Segments {
+		t.Fatalf("NoPrune still pruned: %+v", full.Stats)
+	}
+	// Pruning must not change the answer.
+	if len(res.Events) != len(full.Events) {
+		t.Fatalf("pruned answer %d events, full scan %d", len(res.Events), len(full.Events))
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("selective query matched nothing")
+	}
+	for _, e := range res.Events {
+		if e.CPUTime < 1000 || e.CPUTime >= 1200 {
+			t.Fatalf("event outside time range: %d", e.CPUTime)
+		}
+	}
+}
+
+func TestQueryMachinePredicate(t *testing.T) {
+	be, events := buildStore(t, 200, store.Config{SegmentCap: 512})
+	res := run(t, be, "machine=2", false)
+	want := 0
+	for _, e := range events {
+		if e.Machine == 2 {
+			want++
+		}
+	}
+	if len(res.Events) != want {
+		t.Fatalf("machine=2 matched %d, want %d", len(res.Events), want)
+	}
+	for _, e := range res.Events {
+		if e.Machine != 2 {
+			t.Fatalf("machine=%d leaked through", e.Machine)
+		}
+	}
+	// With 4 machines and 4 shards, machine=2's records live in one
+	// shard; the other shards' segments never intersect its bitmap.
+	if res.Stats.Pruned == 0 {
+		t.Fatalf("machine predicate pruned nothing: %+v", res.Stats)
+	}
+}
+
+func TestQueryContradictionPrunesEverything(t *testing.T) {
+	be, _ := buildStore(t, 100, store.Config{SegmentCap: 512})
+	res := run(t, be, "machine=1,machine=2", false)
+	if len(res.Events) != 0 {
+		t.Fatalf("contradictory rule matched %d events", len(res.Events))
+	}
+	if res.Stats.Scanned != 0 {
+		t.Fatalf("contradictory rule scanned %d segments", res.Stats.Scanned)
+	}
+}
+
+func TestQueryRulesAreAlternatives(t *testing.T) {
+	be, events := buildStore(t, 100, store.Config{})
+	res := run(t, be, "machine=1\nmachine=3", false)
+	want := 0
+	for _, e := range events {
+		if e.Machine == 1 || e.Machine == 3 {
+			want++
+		}
+	}
+	if len(res.Events) != want {
+		t.Fatalf("OR rules matched %d, want %d", len(res.Events), want)
+	}
+}
+
+func TestQueryDiscardProjection(t *testing.T) {
+	be, _ := buildStore(t, 40, store.Config{})
+	// '#' keeps the record but drops the marked body field; header
+	// fields are never dropped.
+	res := run(t, be, "type=1, pid=#*, machine=#*", false)
+	if len(res.Events) == 0 {
+		t.Fatal("discard query matched nothing")
+	}
+	for _, e := range res.Events {
+		if _, ok := e.Fields["pid"]; ok {
+			t.Fatalf("pid survived '#' projection: %v", e.Fields)
+		}
+		if _, ok := e.Fields["sock"]; !ok {
+			t.Fatal("unmarked field dropped")
+		}
+		if e.Machine == 0 {
+			t.Fatal("header machine field zeroed by projection")
+		}
+		if e.Type != meter.EvSend {
+			t.Fatalf("type!=SEND leaked: %v", e.Type)
+		}
+	}
+}
+
+func TestQueryFieldComparison(t *testing.T) {
+	be, _ := buildStore(t, 40, store.Config{})
+	// Field-to-field: msgLength >= sock holds for every synthetic event
+	// (64+i vs 3); the reverse never does.
+	if res := run(t, be, "msgLength>=sock", false); len(res.Events) != 40 {
+		t.Fatalf("msgLength>=sock matched %d, want 40", len(res.Events))
+	}
+	if res := run(t, be, "sock>msgLength", false); len(res.Events) != 0 {
+		t.Fatalf("sock>msgLength matched %d, want 0", len(res.Events))
+	}
+}
+
+func TestQueryUnsealedSegmentScanned(t *testing.T) {
+	// An active (unsealed) segment has no footer index; it must always
+	// be scanned, never pruned, and still contribute matches.
+	be := store.NewMemBackend()
+	st, err := store.Open(be, store.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e := trace.Event{
+			Type: meter.EvSend, Event: meter.EvSend.String(),
+			Machine: 1, CPUTime: int64(i),
+			Fields: map[string]uint64{"pid": 7},
+			Names:  map[string]meter.Name{},
+		}
+		m := store.Meta{Machine: 1, Time: uint32(i), Type: uint32(meter.EvSend), PID: 7}
+		if err := st.Append(m, e.Format()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Flush: the single segment stays unsealed.
+	res := run(t, be, "cpuTime>=1000000", false)
+	if res.Stats.Pruned != 0 {
+		t.Fatal("unsealed segment was pruned")
+	}
+	if res.Stats.Scanned != 1 || res.Stats.Records != 10 {
+		t.Fatalf("unsealed segment not scanned: %+v", res.Stats)
+	}
+	if len(res.Events) != 0 {
+		t.Fatal("time filter failed on unsealed segment")
+	}
+}
+
+func TestQueryBadLinesSkipped(t *testing.T) {
+	be := store.NewMemBackend()
+	st, err := store.Open(be, store.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := trace.Event{
+		Type: meter.EvSend, Event: meter.EvSend.String(), Machine: 1, CPUTime: 5,
+		Fields: map[string]uint64{"pid": 7}, Names: map[string]meter.Name{},
+	}
+	if err := st.Append(store.Meta{Machine: 1, Time: 5, Type: 1, PID: 7}, good.Format()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(store.Meta{Machine: 1, Time: 6, Type: 1, PID: 7}, "NOT A TRACE LINE"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, be, "", false)
+	if len(res.Events) != 1 || res.Stats.BadLines != 1 {
+		t.Fatalf("bad line handling: %d events, stats %+v", len(res.Events), res.Stats)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Segments: 5, Scanned: 2, Pruned: 3, Records: 40, Matched: 7}
+	want := "segments=5 scanned=2 pruned=3 records=40 matched=7"
+	if s.String() != want {
+		t.Fatalf("Stats.String() = %q, want %q", s.String(), want)
+	}
+}
+
+func TestCompileRejectsBadRules(t *testing.T) {
+	if _, err := Compile("machine~5"); err == nil {
+		t.Fatal("bad operator accepted")
+	}
+	if _, err := Compile(fmt.Sprintf("machine=%s", "nonsense+")); err == nil {
+		t.Fatal("bad right-hand side accepted")
+	}
+}

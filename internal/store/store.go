@@ -1,0 +1,399 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Config tunes a store. The zero value selects the defaults.
+type Config struct {
+	// Shards is the number of concurrent shard writers; records route
+	// to shard machine%Shards, so one machine's records stay ordered
+	// within one shard.
+	Shards int
+	// SegmentCap is the frame-data size that triggers rotation: when an
+	// active segment reaches it, the segment is sealed (footer written)
+	// and the next append starts a fresh one.
+	SegmentCap int
+	// CompactMin is the number of adjacent small sealed segments (under
+	// half of SegmentCap) that triggers compaction into one.
+	CompactMin int
+}
+
+// Default configuration values.
+const (
+	DefaultShards     = 4
+	DefaultSegmentCap = 32 << 10
+	DefaultCompactMin = 4
+)
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.SegmentCap <= 0 {
+		c.SegmentCap = DefaultSegmentCap
+	}
+	if c.CompactMin <= 0 {
+		c.CompactMin = DefaultCompactMin
+	}
+	return c
+}
+
+// SegmentInfo describes one segment file of a store.
+type SegmentInfo struct {
+	Name  string
+	Shard int
+	// Start and End are the segment sequence range the file covers;
+	// rotation produces single-sequence segments and compaction widens
+	// the range.
+	Start, End int
+	// Bytes is the frame-data size (footer excluded).
+	Bytes  int
+	Index  Index
+	Sealed bool
+}
+
+func segName(shard, start, end int) string {
+	return fmt.Sprintf("s%d-%06d-%06d.seg", shard, start, end)
+}
+
+func parseSegName(name string) (shard, start, end int, ok bool) {
+	if !strings.HasSuffix(name, ".seg") || !strings.HasPrefix(name, "s") {
+		return 0, 0, 0, false
+	}
+	if n, err := fmt.Sscanf(name, "s%d-%d-%d.seg", &shard, &start, &end); err != nil || n != 3 {
+		return 0, 0, 0, false
+	}
+	if shard < 0 || start < 1 || end < start {
+		return 0, 0, 0, false
+	}
+	return shard, start, end, true
+}
+
+// Stats counts a store's write-side traffic, in the style of the
+// kernel meter's buffer statistics.
+type Stats struct {
+	Appends     int // records appended
+	Rotations   int // segments sealed because they reached SegmentCap
+	Compactions int // compaction runs performed
+	Recovered   int // segments re-sealed during Open recovery
+}
+
+// Store is a sharded segment writer. All methods are safe for
+// concurrent use; appends to different shards do not contend.
+type Store struct {
+	be  Backend
+	cfg Config
+
+	shards []*shard
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+type shard struct {
+	mu      sync.Mutex
+	id      int
+	nextSeq int
+	active  *SegmentInfo // nil when no segment is being filled
+	sealed  []*SegmentInfo
+}
+
+// Open opens (or creates) the store behind a backend. Existing sealed
+// segments are adopted as they are; an unsealed or damaged segment —
+// what a crashed writer leaves behind — is recovered by rewriting its
+// valid record prefix as a sealed segment, so every record that
+// survived the crash is indexed and queryable.
+func Open(be Backend, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	names, err := be.List()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{be: be, cfg: cfg}
+	byShard := make(map[int][]*SegmentInfo)
+	maxShard := cfg.Shards - 1
+	for _, name := range names {
+		sh, start, end, ok := parseSegName(name)
+		if !ok {
+			continue
+		}
+		if sh > maxShard {
+			maxShard = sh
+		}
+		byShard[sh] = append(byShard[sh], &SegmentInfo{Name: name, Shard: sh, Start: start, End: end})
+	}
+	for i := 0; i <= maxShard; i++ {
+		sh := &shard{id: i, nextSeq: 1}
+		infos := byShard[i]
+		sort.Slice(infos, func(a, b int) bool { return infos[a].Start < infos[b].Start })
+		for _, info := range infos {
+			data, err := be.Read(info.Name)
+			if err != nil {
+				return nil, err
+			}
+			seg, perr := ParseSegment(data)
+			if perr != nil || !seg.Sealed {
+				if err := rewriteSealed(be, info.Name, seg.Recs); err != nil {
+					return nil, err
+				}
+				seg.Index = indexOf(seg.Recs)
+				s.stats.Recovered++
+			}
+			info.Index = seg.Index
+			info.Sealed = true
+			info.Bytes = 0
+			for _, r := range seg.Recs {
+				info.Bytes += FrameSize(len(r.Line))
+			}
+			sh.sealed = append(sh.sealed, info)
+			if info.End >= sh.nextSeq {
+				sh.nextSeq = info.End + 1
+			}
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+func indexOf(recs []Rec) Index {
+	var x Index
+	for _, r := range recs {
+		x.Add(r.Meta)
+	}
+	return x
+}
+
+// rewriteSealed replaces a segment file with a sealed re-encoding of
+// the given records.
+func rewriteSealed(be Backend, name string, recs []Rec) error {
+	var frames []byte
+	for _, r := range recs {
+		frames = AppendFrame(frames, r.Meta, r.Line)
+	}
+	data := AppendFooter(frames, indexOf(recs), uint32(len(frames)))
+	return be.Create(name, data)
+}
+
+// Append routes one record to its shard and appends it; when the
+// shard's active segment reaches SegmentCap it is sealed and, if
+// enough small sealed segments have piled up, compacted.
+func (s *Store) Append(m Meta, line string) error {
+	sh := s.shards[int(m.Machine)%len(s.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.active == nil {
+		seq := sh.nextSeq
+		sh.nextSeq++
+		sh.active = &SegmentInfo{Name: segName(sh.id, seq, seq), Shard: sh.id, Start: seq, End: seq}
+	}
+	frame := AppendFrame(nil, m, line)
+	if err := s.be.Append(sh.active.Name, frame); err != nil {
+		return err
+	}
+	sh.active.Bytes += len(frame)
+	sh.active.Index.Add(m)
+	s.statsMu.Lock()
+	s.stats.Appends++
+	s.statsMu.Unlock()
+	if sh.active.Bytes >= s.cfg.SegmentCap {
+		if err := s.sealLocked(sh); err != nil {
+			return err
+		}
+		s.statsMu.Lock()
+		s.stats.Rotations++
+		s.statsMu.Unlock()
+		return s.compactLocked(sh)
+	}
+	return nil
+}
+
+// sealLocked writes the active segment's footer and retires it to the
+// sealed list. Caller holds sh.mu.
+func (s *Store) sealLocked(sh *shard) error {
+	a := sh.active
+	if a == nil || a.Index.Count == 0 {
+		return nil
+	}
+	footer := AppendFooter(nil, a.Index, uint32(a.Bytes))
+	if err := s.be.Append(a.Name, footer); err != nil {
+		return err
+	}
+	a.Sealed = true
+	sh.sealed = append(sh.sealed, a)
+	sh.active = nil
+	return nil
+}
+
+// compactLocked merges the trailing run of small sealed segments into
+// one when the run reaches CompactMin — the store's answer to a slow
+// writer being sealed repeatedly by Flush, so segment count stays
+// proportional to data volume. Caller holds sh.mu.
+func (s *Store) compactLocked(sh *shard) error {
+	small := func(in *SegmentInfo) bool { return in.Bytes*2 < s.cfg.SegmentCap }
+	i := len(sh.sealed)
+	for i > 0 && small(sh.sealed[i-1]) {
+		i--
+	}
+	run := sh.sealed[i:]
+	if len(run) < s.cfg.CompactMin {
+		return nil
+	}
+	var frames []byte
+	var x Index
+	for _, info := range run {
+		data, err := s.be.Read(info.Name)
+		if err != nil {
+			return err
+		}
+		seg, err := ParseSegment(data)
+		if err != nil {
+			return err
+		}
+		for _, r := range seg.Recs {
+			frames = AppendFrame(frames, r.Meta, r.Line)
+			x.Add(r.Meta)
+		}
+	}
+	merged := &SegmentInfo{
+		Name:  segName(sh.id, run[0].Start, run[len(run)-1].End),
+		Shard: sh.id, Start: run[0].Start, End: run[len(run)-1].End,
+		Bytes: len(frames), Index: x, Sealed: true,
+	}
+	out := AppendFooter(frames, x, uint32(len(frames)))
+	if err := s.be.Create(merged.Name, out); err != nil {
+		return err
+	}
+	for _, info := range run {
+		if info.Name != merged.Name {
+			_ = s.be.Remove(info.Name)
+		}
+	}
+	sh.sealed = append(sh.sealed[:i], merged)
+	s.statsMu.Lock()
+	s.stats.Compactions++
+	s.statsMu.Unlock()
+	return nil
+}
+
+// Flush seals every non-empty active segment, making all appended
+// records visible behind footers (an unsealed segment is still
+// readable, but must be scanned).
+func (s *Store) Flush() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := s.sealLocked(sh)
+		if err == nil {
+			err = s.compactLocked(sh)
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the write-side counters.
+func (s *Store) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// Segments returns a snapshot of every segment's metadata, sealed and
+// active, in shard order.
+func (s *Store) Segments() []SegmentInfo {
+	var out []SegmentInfo
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, info := range sh.sealed {
+			out = append(out, *info)
+		}
+		if sh.active != nil {
+			out = append(out, *sh.active)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ReaderSegment is one segment as seen by a Reader: its footer index
+// when sealed (usable for pruning without touching the frames), and
+// its raw bytes for when it must actually be scanned.
+type ReaderSegment struct {
+	Name   string
+	Shard  int
+	Start  int
+	Index  Index
+	Sealed bool
+	data   []byte
+}
+
+// Load parses the segment's records. An unsealed segment with a torn
+// tail yields its valid prefix and ErrTruncated.
+func (rs *ReaderSegment) Load() (*Segment, error) {
+	return ParseSegment(rs.data)
+}
+
+// Reader is a point-in-time read-only view of a store: the segment
+// files present at OpenReader, grouped by shard in rotation order.
+// Sealed segments expose their footer index so callers can prune them
+// without parsing any frames.
+type Reader struct {
+	shards [][]*ReaderSegment
+}
+
+// OpenReader snapshots the store behind a backend. It reads each
+// segment file once and parses footers only; frame parsing is deferred
+// to ReaderSegment.Load so pruned segments never pay it.
+func OpenReader(be Backend) (*Reader, error) {
+	names, err := be.List()
+	if err != nil {
+		return nil, err
+	}
+	byShard := make(map[int][]*ReaderSegment)
+	maxShard := -1
+	for _, name := range names {
+		sh, start, _, ok := parseSegName(name)
+		if !ok {
+			continue
+		}
+		data, err := be.Read(name)
+		if err != nil {
+			return nil, err
+		}
+		rs := &ReaderSegment{Name: name, Shard: sh, Start: start, data: data}
+		if x, _, ok := ParseFooter(data); ok {
+			rs.Index = x
+			rs.Sealed = true
+		}
+		if sh > maxShard {
+			maxShard = sh
+		}
+		byShard[sh] = append(byShard[sh], rs)
+	}
+	r := &Reader{}
+	for i := 0; i <= maxShard; i++ {
+		segs := byShard[i]
+		sort.Slice(segs, func(a, b int) bool { return segs[a].Start < segs[b].Start })
+		r.shards = append(r.shards, segs)
+	}
+	return r, nil
+}
+
+// Shards returns the reader's segments grouped by shard, in rotation
+// order within each shard. Callers must not modify the slices.
+func (r *Reader) Shards() [][]*ReaderSegment { return r.shards }
+
+// NumSegments returns the total number of segments in the snapshot.
+func (r *Reader) NumSegments() int {
+	n := 0
+	for _, segs := range r.shards {
+		n += len(segs)
+	}
+	return n
+}
