@@ -478,22 +478,50 @@ func BenchmarkFilterEngine(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var batch []byte
+			var stream []byte
 			for i := 0; i < 16; i++ {
 				msg := &meter.Msg{
 					Header: meter.Header{Machine: uint16(i % 3), CPUTime: uint32(i * 100)},
 					Body:   &meter.Send{PID: uint32(i), Sock: 4, MsgLength: uint32(i * 64)},
 				}
-				batch = msg.AppendEncode(batch)
+				stream = msg.AppendEncode(stream)
 			}
-			b.SetBytes(int64(len(batch)))
+			var batch filter.Batch
+			b.SetBytes(int64(len(stream)))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, rest, err := eng.Process(batch); err != nil || len(rest) != 0 {
+				batch.Reset()
+				if rest, err := eng.ProcessBatch(stream, &batch); err != nil || len(rest) != 0 {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// A2 baseline: the same selection through the per-line string path
+// (Process), kept for comparison with the batch hot path above.
+func BenchmarkFilterEngineProcess(b *testing.B) {
+	eng, err := filter.NewEngine([]byte(filter.StandardDescriptions), []byte("machine=1, cpuTime<10000\n"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stream []byte
+	for i := 0; i < 16; i++ {
+		msg := &meter.Msg{
+			Header: meter.Header{Machine: uint16(i % 3), CPUTime: uint32(i * 100)},
+			Body:   &meter.Send{PID: uint32(i), Sock: 4, MsgLength: uint32(i * 64)},
+		}
+		stream = msg.AppendEncode(stream)
+	}
+	b.SetBytes(int64(len(stream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, rest, err := eng.Process(stream); err != nil || len(rest) != 0 {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -712,6 +740,7 @@ func BenchmarkStoreIngest(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(bytes / int64(len(lines)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := &events[i%len(events)]
@@ -721,6 +750,41 @@ func BenchmarkStoreIngest(b *testing.B) {
 			Type: uint32(e.Type), PID: uint32(pid),
 		}
 		if err := st.Append(m, lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// S1 batched: the same ingest through AppendBatch, 16 records per call
+// — the granularity the filter's per-Recv flush produces. ns/op and
+// allocs/op are per batch, so divide by 16 to compare with
+// BenchmarkStoreIngest.
+func BenchmarkStoreIngestBatch(b *testing.B) {
+	events := syntheticTrace(64)
+	var bytes int64
+	recs := make([]store.BatchRec, len(events))
+	for i := range events {
+		e := &events[i]
+		recs[i] = store.BatchRec{
+			Meta: store.Meta{
+				Machine: uint16(e.Machine), Time: uint32(e.CPUTime),
+				Type: uint32(e.Type), PID: uint32(e.Fields["pid"]),
+			},
+			Line: []byte(e.Format()),
+		}
+		bytes += int64(len(recs[i].Line))
+	}
+	st, err := store.Open(store.NewMemBackend(), store.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 16
+	b.SetBytes(bytes / int64(len(recs)) * batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := i * batchSize % len(recs)
+		if err := st.AppendBatch(recs[off : off+batchSize]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,7 +1,6 @@
 package filter
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 
@@ -51,8 +50,14 @@ func CountingMain(p *kernel.Process) int {
 	}
 	counts := make(map[key]int)
 	conns := make(map[int][]byte)
+	// keys and out are reused across rewrites; the lines are appended
+	// with strconv, not fmt, so a rewrite costs no per-line garbage.
+	var (
+		keys []key
+		out  []byte
+	)
 	rewrite := func() {
-		keys := make([]key, 0, len(counts))
+		keys = keys[:0]
 		for k := range counts {
 			keys = append(keys, k)
 		}
@@ -62,9 +67,15 @@ func CountingMain(p *kernel.Process) int {
 			}
 			return keys[i].typ < keys[j].typ
 		})
-		var out []byte
+		out = out[:0]
 		for _, k := range keys {
-			out = append(out, fmt.Sprintf("count machine=%d event=%s n=%d\n", k.machine, k.typ, counts[k])...)
+			out = append(out, "count machine="...)
+			out = strconv.AppendUint(out, uint64(k.machine), 10)
+			out = append(out, " event="...)
+			out = append(out, k.typ.String()...)
+			out = append(out, " n="...)
+			out = strconv.AppendInt(out, int64(counts[k]), 10)
+			out = append(out, '\n')
 		}
 		fs := p.Machine().FS()
 		if fs.Exists(logPath) {

@@ -3,6 +3,7 @@ package filter
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"dpm/internal/fsys"
 	"dpm/internal/kernel"
@@ -33,9 +34,19 @@ const (
 // rule evaluation. The standard filter drives it from a socket loop;
 // custom filters (section 3.4 allows them, "given a few basic
 // constraints") can drive it from anything that yields meter bytes.
+//
+// At construction the descriptions and rules are compiled into an
+// index-based program (compile.go); the steady-state batch path
+// extracts, selects, and formats records with zero heap allocations
+// per record.
 type Engine struct {
 	desc  *Descriptions
 	rules Rules
+	prog  *Program
+
+	// lineBuf is the reused formatting buffer of the compatibility
+	// (per-line string) path.
+	lineBuf []byte
 
 	// Stats counts the engine's record traffic.
 	Received  int
@@ -54,7 +65,156 @@ func NewEngine(descData, tmplData []byte) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{desc: d, rules: r}, nil
+	return &Engine{desc: d, rules: r, prog: CompileProgram(d, r)}, nil
+}
+
+// recordPool recycles extraction records across engines; one filter
+// holds a record only for the duration of a Process* call, so a
+// machine full of filters shares a handful of records instead of
+// allocating one per message.
+var recordPool = sync.Pool{New: func() any { return new(Record) }}
+
+// GetRecord takes a reusable record from the pool; custom filters
+// driving Descriptions.ExtractInto themselves should pair it with
+// PutRecord.
+func GetRecord() *Record { return recordPool.Get().(*Record) }
+
+// PutRecord returns a record to the pool. The caller must not retain
+// the record or its fields afterwards.
+func PutRecord(r *Record) { recordPool.Put(r) }
+
+// Batch accumulates one flush's worth of surviving records: the
+// concatenated '\n'-terminated log lines (the flat-log image, written
+// with a single file append) and the per-record store metadata. A
+// Batch is reused across flushes via Reset, so the steady state
+// allocates nothing.
+type Batch struct {
+	// Lines is the flat-log image: each record's formatted line
+	// followed by '\n'.
+	Lines []byte
+	metas []store.Meta
+	ends  []int // end offset of each record's line in Lines, excluding '\n'
+	recs  []store.BatchRec
+}
+
+// Reset empties the batch, retaining capacity.
+func (b *Batch) Reset() {
+	b.Lines = b.Lines[:0]
+	b.metas = b.metas[:0]
+	b.ends = b.ends[:0]
+}
+
+// Len returns the number of records in the batch.
+func (b *Batch) Len() int { return len(b.ends) }
+
+// Line returns the i'th record's formatted line (no trailing '\n').
+// The slice aliases the batch and is valid until the next Reset.
+func (b *Batch) Line(i int) []byte {
+	start := 0
+	if i > 0 {
+		start = b.ends[i-1] + 1
+	}
+	return b.Lines[start:b.ends[i]]
+}
+
+// StoreRecs materializes the batch as store append records. The
+// returned slice and its lines alias the batch; hand it straight to
+// Store.AppendBatch before the next Reset.
+func (b *Batch) StoreRecs() []store.BatchRec {
+	b.recs = b.recs[:0]
+	start := 0
+	for i, end := range b.ends {
+		b.recs = append(b.recs, store.BatchRec{Meta: b.metas[i], Line: b.Lines[start:end]})
+		start = end + 1
+	}
+	return b.recs
+}
+
+// frameSize validates and returns the size field of the frame at the
+// front of buf; n == 0 means incomplete.
+func frameSize(buf []byte) (int, error) {
+	if len(buf) < meter.HeaderSize {
+		return 0, nil
+	}
+	size := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+	if size < meter.HeaderSize || size > meter.MaxMsgSize {
+		return 0, fmt.Errorf("filter: corrupt size field %d", size)
+	}
+	if len(buf) < size {
+		return 0, nil
+	}
+	return size, nil
+}
+
+// ProcessBatch consumes raw meter-stream bytes and appends every
+// surviving record's formatted line and store metadata to the batch,
+// returning the unconsumed tail. This is the filter's hot path: with
+// the batch's buffers at capacity it performs zero heap allocations
+// per record.
+func (e *Engine) ProcessBatch(buf []byte, b *Batch) (rest []byte, err error) {
+	rec := GetRecord()
+	defer PutRecord(rec)
+	for {
+		size, err := frameSize(buf)
+		if err != nil || size == 0 {
+			return buf, err
+		}
+		pl, err := e.prog.ExtractInto(rec, buf[:size])
+		if err != nil {
+			return buf, err
+		}
+		buf = buf[size:]
+		e.Received++
+		if pl.wide {
+			// Wide event type (>64 body fields): discard sets exceed the
+			// mask; selection still runs compiled, formatting takes the
+			// map-based path.
+			keep, rule := pl.selectRec(rec)
+			if !keep {
+				e.Discarded++
+				continue
+			}
+			e.Kept++
+			var discards map[string]bool
+			if rule >= 0 {
+				discards = pl.rules[rule].discards
+			}
+			b.Lines = append(b.Lines, rec.Format(discards)...)
+			b.ends = append(b.ends, len(b.Lines))
+			b.Lines = append(b.Lines, '\n')
+			b.metas = append(b.metas, store.Meta{
+				Machine: rec.Machine, Time: rec.CPUTime,
+				Type: uint32(rec.Type), PID: pl.pid(rec),
+			})
+			continue
+		}
+		keep, mask := e.selectCompiled(pl, rec)
+		if !keep {
+			e.Discarded++
+			continue
+		}
+		e.Kept++
+		b.Lines = rec.AppendFormat(b.Lines, mask)
+		b.ends = append(b.ends, len(b.Lines))
+		b.Lines = append(b.Lines, '\n')
+		b.metas = append(b.metas, store.Meta{
+			Machine: rec.Machine, Time: rec.CPUTime,
+			Type: uint32(rec.Type), PID: pl.pid(rec),
+		})
+	}
+}
+
+// selectCompiled runs the compiled selection for one record and
+// returns the matched rule's discard mask. The rare wide event type
+// (>64 body fields) formats through the interpreter's map path
+// instead; the mask is then unused because AppendFormat ignores bits
+// beyond 64 — callers detect wide plans via pl.wide.
+func (e *Engine) selectCompiled(pl *eventPlan, rec *Record) (keep bool, mask uint64) {
+	keep, rule := pl.selectRec(rec)
+	if !keep || rule < 0 {
+		return keep, 0
+	}
+	return true, pl.rules[rule].mask
 }
 
 // Process consumes raw meter-stream bytes carried over from previous
@@ -69,33 +229,50 @@ func (e *Engine) Process(buf []byte) (lines []string, rest []byte, err error) {
 
 // ProcessEach is Process with a per-record callback: each surviving
 // record and its formatted log line are handed to emit as they are
-// extracted, so a caller can fan one record out to several sinks (the
-// flat log and the event store) without a second framing pass.
+// extracted, so a caller can fan one record out to several sinks
+// without a second framing pass. The record is pooled: emit must not
+// retain it past the callback. Callers that can take the batch form
+// should prefer ProcessBatch, which does not materialize a string per
+// record.
 func (e *Engine) ProcessEach(buf []byte, emit func(rec *Record, line string)) (rest []byte, err error) {
+	rec := GetRecord()
+	defer PutRecord(rec)
 	for {
-		if len(buf) < meter.HeaderSize {
-			return buf, nil
+		size, err := frameSize(buf)
+		if err != nil || size == 0 {
+			return buf, err
 		}
-		size := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
-		if size < meter.HeaderSize || size > meter.MaxMsgSize {
-			return buf, fmt.Errorf("filter: corrupt size field %d", size)
-		}
-		if len(buf) < size {
-			return buf, nil
-		}
-		rec, err := e.desc.Extract(buf[:size])
+		pl, err := e.prog.ExtractInto(rec, buf[:size])
 		if err != nil {
 			return buf, err
 		}
 		buf = buf[size:]
 		e.Received++
-		keep, discards := e.rules.Select(rec)
-		if !keep {
-			e.Discarded++
-			continue
+		var line string
+		if pl.wide {
+			// Wide event type: discard sets exceed the mask; selection
+			// still runs compiled, formatting takes the map-based path.
+			keep, rule := pl.selectRec(rec)
+			if !keep {
+				e.Discarded++
+				continue
+			}
+			var discards map[string]bool
+			if rule >= 0 {
+				discards = pl.rules[rule].discards
+			}
+			line = rec.Format(discards)
+		} else {
+			keep, mask := e.selectCompiled(pl, rec)
+			if !keep {
+				e.Discarded++
+				continue
+			}
+			e.lineBuf = rec.AppendFormat(e.lineBuf[:0], mask)
+			line = string(e.lineBuf)
 		}
 		e.Kept++
-		emit(rec, rec.Format(discards))
+		emit(rec, line)
 	}
 }
 
@@ -172,12 +349,23 @@ func Main(p *kernel.Process) int {
 	}
 
 	logPath := LogPath(name)
-	conns := make(map[int][]byte) // meter connection fd -> partial frame
+	// Per-connection carry buffers hold only the partial trailing frame
+	// of the last Recv; each buffer is reused in place rather than
+	// reallocated per iteration.
+	conns := make(map[int]*meterConn)
+	var (
+		fds      []int // reused Select argument, rebuilt only on churn
+		fdsDirty = true
+		batch    Batch // reused flush accumulator
+	)
 	for {
-		fds := make([]int, 0, len(conns)+1)
-		fds = append(fds, lfd)
-		for fd := range conns {
-			fds = append(fds, fd)
+		if fdsDirty {
+			fds = fds[:0]
+			fds = append(fds, lfd)
+			for fd := range conns {
+				fds = append(fds, fd)
+			}
+			fdsDirty = false
 		}
 		ready, err := p.Select(fds)
 		if err != nil {
@@ -189,49 +377,59 @@ func Main(p *kernel.Process) int {
 				if err != nil {
 					return 0
 				}
-				conns[nfd] = nil
+				conns[nfd] = &meterConn{}
+				fdsDirty = true
 				continue
 			}
-			data, err := p.Recv(fd, 8192)
+			c := conns[fd]
+			if c == nil {
+				continue
+			}
+			// A large Recv drains whole meter-buffer flushes in one
+			// call, handing the engine maximal contiguous frame runs.
+			data, err := p.Recv(fd, 65536)
 			if err != nil {
 				// EOF or error: the metered process (and every holder
 				// of its meter socket) is gone.
 				_ = p.Close(fd)
 				delete(conns, fd)
+				fdsDirty = true
 				continue
 			}
-			buf := append(conns[fd], data...)
-			var out []byte
-			var storeErr error
-			rest, err := eng.ProcessEach(buf, func(rec *Record, line string) {
-				out = append(out, line...)
-				out = append(out, '\n')
-				pid, _ := rec.Field("pid")
-				m := store.Meta{
-					Machine: rec.Machine, Time: rec.CPUTime,
-					Type: uint32(rec.Type), PID: uint32(pid),
-				}
-				if err := st.Append(m, line); err != nil && storeErr == nil {
-					storeErr = err
-				}
-			})
+			buf := data
+			if len(c.carry) > 0 {
+				c.carry = append(c.carry, data...)
+				buf = c.carry
+			}
+			batch.Reset()
+			rest, err := eng.ProcessBatch(buf, &batch)
 			if err != nil {
 				p.Printf("filter: %v\n", err)
 				_ = p.Close(fd)
 				delete(conns, fd)
+				fdsDirty = true
 				continue
 			}
-			conns[fd] = rest
-			if storeErr != nil {
-				p.Printf("filter: store append: %v\n", storeErr)
-			}
-			if len(out) > 0 {
-				if err := p.AppendFile(logPath, out); err != nil {
+			// Keep only the partial tail; copy-down within the carry
+			// buffer (or from data) so nothing holds the Recv slice.
+			c.carry = append(c.carry[:0], rest...)
+			// One flush per Recv: a single flat-log append and a single
+			// batched store append, instead of a write per record.
+			if batch.Len() > 0 {
+				if err := st.AppendBatch(batch.StoreRecs()); err != nil {
+					p.Printf("filter: store append: %v\n", err)
+				}
+				if err := p.AppendFile(logPath, batch.Lines); err != nil {
 					p.Printf("filter: log append: %v\n", err)
 				}
 			}
 		}
 	}
+}
+
+// meterConn is the per-connection state of the filter's socket loop.
+type meterConn struct {
+	carry []byte // partial trailing frame carried to the next Recv
 }
 
 // ProgramName is the registry name of the standard filter program; the

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"dpm/internal/meter"
 )
 
 // Op is a comparison operator in a selection rule. "The conditions
@@ -152,61 +154,109 @@ func isFieldName(s string) bool {
 	return true
 }
 
-// matches evaluates one rule against a record, returning whether it
-// matched and, if it did, the set of fields its discard markers drop.
-func (r Rule) matches(rec *Record) (bool, map[string]bool) {
-	discards := make(map[string]bool)
+// FieldSource is the record-shaped value rules evaluate against: the
+// filter's extracted Records implement it directly, and the query
+// engine adapts stored trace events to it, so both stages share one
+// rule evaluator and cannot drift apart.
+type FieldSource interface {
+	// Field returns the numeric value of a named field, header fields
+	// included; socket-name fields yield their numeric value.
+	Field(name string) (uint64, bool)
+	// NameField returns the decoded socket name of a name field.
+	NameField(name string) (meter.Name, bool)
+}
+
+// MatchSource evaluates the rule's conditions against any field
+// source. It performs no discard bookkeeping and allocates nothing;
+// callers that need the discard set apply DiscardSet on a match.
+func (r Rule) MatchSource(src FieldSource) bool {
 	for _, c := range r {
-		if c.Discard {
-			discards[c.Field] = true
-		}
 		if c.Wildcard {
 			// '*' matches any value, but the field must exist.
-			if _, ok := rec.Field(c.Field); !ok {
-				return false, nil
+			if _, ok := src.Field(c.Field); !ok {
+				return false
 			}
 			continue
 		}
 		if c.FieldRef != "" {
 			// Field-to-field comparison; socket-name fields compare
 			// their full 16-byte names (e.g. sockName=peerName).
-			if an, aok := rec.NameField(c.Field); aok {
-				bn, bok := rec.NameField(c.FieldRef)
+			if an, aok := src.NameField(c.Field); aok {
+				bn, bok := src.NameField(c.FieldRef)
 				if !bok {
-					return false, nil
+					return false
 				}
 				eq := an == bn
 				if (c.Op == OpEQ && !eq) || (c.Op == OpNE && eq) {
-					return false, nil
+					return false
 				}
 				continue
 			}
-			a, aok := rec.Field(c.Field)
-			b, bok := rec.Field(c.FieldRef)
+			a, aok := src.Field(c.Field)
+			b, bok := src.Field(c.FieldRef)
 			if !aok || !bok || !c.Op.eval(a, b) {
-				return false, nil
+				return false
 			}
 			continue
 		}
-		v, ok := rec.Field(c.Field)
+		v, ok := src.Field(c.Field)
 		if !ok || !c.Op.eval(v, c.Value) {
-			return false, nil
+			return false
 		}
 	}
-	return true, discards
+	return true
+}
+
+// HasDiscards reports whether any condition carries the '#' prefix.
+func (r Rule) HasDiscards() bool {
+	for _, c := range r {
+		if c.Discard {
+			return true
+		}
+	}
+	return false
+}
+
+// DiscardSet returns the set of fields the rule's '#' markers drop,
+// or nil when it has none. The map is freshly built on each call;
+// callers on a hot path should build it once per rule (the compiled
+// program uses bitmasks instead).
+func (r Rule) DiscardSet() map[string]bool {
+	var discards map[string]bool
+	for _, c := range r {
+		if c.Discard {
+			if discards == nil {
+				discards = make(map[string]bool)
+			}
+			discards[c.Field] = true
+		}
+	}
+	return discards
+}
+
+// SelectSource returns the index of the first rule matching the
+// source, or -1. An empty rule set selects everything, reported as
+// rule -1 with keep true.
+func (rs Rules) SelectSource(src FieldSource) (keep bool, rule int) {
+	if len(rs) == 0 {
+		return true, -1
+	}
+	for i, r := range rs {
+		if r.MatchSource(src) {
+			return true, i
+		}
+	}
+	return false, -1
 }
 
 // Select decides whether a record is kept. With no rules at all,
 // every record is kept unedited. Otherwise the record is kept if any
-// rule matches, with that rule's discards applied.
+// rule matches, with that rule's discards applied. A matching rule
+// without '#' conditions reports a nil discard set, allocating no map.
 func (rs Rules) Select(rec *Record) (keep bool, discards map[string]bool) {
-	if len(rs) == 0 {
-		return true, nil
+	keep, rule := rs.SelectSource(rec)
+	if !keep || rule < 0 {
+		return keep, nil
 	}
-	for _, r := range rs {
-		if ok, d := r.matches(rec); ok {
-			return true, d
-		}
-	}
-	return false, nil
+	return true, rs[rule].DiscardSet()
 }

@@ -21,9 +21,13 @@ const (
 )
 
 // newMeterBuffer builds the per-process buffer of unsent meter
-// messages, delivering batches over the given meter socket. A batch
-// the socket cannot deliver (the filter died between buffering and
-// flush) is counted message-by-message in the cluster's fault stats.
+// messages, delivering batches over the given meter socket. Each flush
+// is one kernelSend of the whole batch, so the filter's Recv sees a
+// maximal contiguous run of frames and can process the run with a
+// single batched flush of its own sinks; the stream delivery copies
+// the bytes, letting the buffer recycle the batch storage. A batch the
+// socket cannot deliver (the filter died between buffering and flush)
+// is counted message-by-message in the cluster's fault stats.
 func (m *Machine) newMeterBuffer(sock *Socket) *meter.Buffer {
 	count := m.cluster.meterBufferCount()
 	if count == 0 {

@@ -25,18 +25,27 @@ type Stats struct {
 // Add encodes each message immediately (the kernel extracts event data
 // at event time, section 3.3) and triggers a flush when the threshold
 // is reached or immediate delivery is requested.
+//
+// A flush hands the filter one write carrying the whole batch of
+// contiguous frames, and the batch buffer is recycled once send
+// returns, so a steadily metered process reuses two buffers forever
+// instead of allocating one per flush.
 type Buffer struct {
 	mu        sync.Mutex
 	threshold int
 	pending   []byte
-	count     int
-	stats     Stats
-	send      func([]byte)
+	// spare is the last sent batch's storage, reused for the next
+	// pending run once a flush completes.
+	spare []byte
+	count int
+	stats Stats
+	send  func([]byte)
 }
 
 // NewBuffer returns a buffer that delivers batches through send (a
 // write on the meter connection). A threshold below 1 is treated as 1,
-// i.e. unbuffered.
+// i.e. unbuffered. send must not retain the batch slice past its
+// return: the buffer reuses its storage for the next batch.
 func NewBuffer(threshold int, send func([]byte)) *Buffer {
 	if threshold < 1 {
 		threshold = 1
@@ -48,6 +57,9 @@ func NewBuffer(threshold int, send func([]byte)) *Buffer {
 // is reached, the pending batch is sent.
 func (b *Buffer) Add(m *Msg, immediate bool) {
 	b.mu.Lock()
+	if b.pending == nil && b.spare != nil {
+		b.pending, b.spare = b.spare[:0], nil
+	}
 	b.pending = m.AppendEncode(b.pending)
 	b.count++
 	b.stats.Events++
@@ -58,6 +70,7 @@ func (b *Buffer) Add(m *Msg, immediate bool) {
 	b.mu.Unlock()
 	if batch != nil {
 		b.send(batch)
+		b.recycle(batch)
 	}
 }
 
@@ -70,6 +83,7 @@ func (b *Buffer) Flush() {
 	b.mu.Unlock()
 	if batch != nil {
 		b.send(batch)
+		b.recycle(batch)
 	}
 }
 
@@ -84,6 +98,16 @@ func (b *Buffer) take() []byte {
 	b.stats.Flushes++
 	b.stats.Bytes += int64(len(batch))
 	return batch
+}
+
+// recycle returns a sent batch's storage for reuse, keeping the larger
+// of it and any spare already parked.
+func (b *Buffer) recycle(batch []byte) {
+	b.mu.Lock()
+	if cap(batch) > cap(b.spare) {
+		b.spare = batch[:0]
+	}
+	b.mu.Unlock()
 }
 
 // Pending returns the number of buffered, unsent messages.

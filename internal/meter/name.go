@@ -3,7 +3,9 @@ package meter
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -87,23 +89,48 @@ func (n Name) Path() string {
 func (n Name) IsZero() bool { return n == Name{} }
 
 // String renders the name for trace logs and analysis output.
-func (n Name) String() string {
+func (n Name) String() string { return string(n.AppendText(nil)) }
+
+// AppendText appends the String rendering of the name to dst and
+// returns the extended slice. Filters format every surviving record's
+// name fields, so this path avoids fmt and allocates nothing beyond
+// dst's growth.
+func (n Name) AppendText(dst []byte) []byte {
 	switch n.Family() {
 	case AFUnspec:
 		if n.IsZero() {
-			return "-"
+			return append(dst, '-')
 		}
-		return fmt.Sprintf("unspec:%x", n[2:])
+		dst = append(dst, "unspec:"...)
+		return hex.AppendEncode(dst, n[2:])
 	case AFInet:
 		host, port := n.Inet()
-		return fmt.Sprintf("inet:%d:%d", host, port)
+		dst = append(dst, "inet:"...)
+		dst = strconv.AppendUint(dst, uint64(host), 10)
+		dst = append(dst, ':')
+		return strconv.AppendUint(dst, uint64(port), 10)
 	case AFUnix:
-		return "unix:" + n.Path()
+		dst = append(dst, "unix:"...)
+		return n.appendPath(dst)
 	case AFPair:
-		return "pair:" + n.Path()
+		dst = append(dst, "pair:"...)
+		return n.appendPath(dst)
 	default:
-		return fmt.Sprintf("af%d:%x", n.Family(), n[2:])
+		dst = append(dst, "af"...)
+		dst = strconv.AppendUint(dst, uint64(n.Family()), 10)
+		dst = append(dst, ':')
+		return hex.AppendEncode(dst, n[2:])
 	}
+}
+
+// appendPath appends the NUL-terminated path bytes without the
+// intermediate string Path builds.
+func (n Name) appendPath(dst []byte) []byte {
+	b := n[2:]
+	if i := bytes.IndexByte(b, 0); i >= 0 {
+		b = b[:i]
+	}
+	return append(dst, b...)
 }
 
 // ParseName parses the String form back into a Name; trace logs store

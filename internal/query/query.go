@@ -29,15 +29,17 @@ import (
 	"dpm/internal/trace"
 )
 
-// Query is a compiled query: the parsed rules and the pruning envelope
-// of each.
+// Query is a compiled query: the parsed rules, the pruning envelope of
+// each, and each rule's precomputed discard set (so Match allocates no
+// map per record).
 type Query struct {
 	Rules filter.Rules
 	// NoPrune disables footer pruning, scanning every segment — the
 	// diagnostic baseline the benchmarks compare against.
 	NoPrune bool
 
-	bounds []bounds
+	bounds   []bounds
+	discards []map[string]bool
 }
 
 // Compile parses selection rules (one per line, Figure 3.3 syntax) and
@@ -51,6 +53,7 @@ func Compile(text string) (*Query, error) {
 	q := &Query{Rules: rules}
 	for _, r := range rules {
 		q.bounds = append(q.bounds, boundsOf(r))
+		q.discards = append(q.discards, r.DiscardSet())
 	}
 	return q, nil
 }
@@ -176,10 +179,14 @@ func (q *Query) Admits(x store.Index) bool {
 	return false
 }
 
-// eventField mirrors filter.Record.Field over a parsed trace event:
-// the header fields by name, then the body fields. The "size" header
-// field is not carried in log lines and so cannot be queried.
-func eventField(e *trace.Event, name string) (uint64, bool) {
+// eventSource adapts a parsed trace event to filter.FieldSource, so
+// the query engine runs the filter's own rule evaluator instead of a
+// drifting copy. Header fields resolve by name first, then the body
+// fields, mirroring filter.Record.Field; the "size" header field is
+// not carried in log lines and so cannot be queried.
+type eventSource trace.Event
+
+func (e *eventSource) Field(name string) (uint64, bool) {
 	switch name {
 	case "machine":
 		return uint64(e.Machine), true
@@ -194,56 +201,27 @@ func eventField(e *trace.Event, name string) (uint64, bool) {
 	return v, ok
 }
 
-// matchRule mirrors filter.Rule's record matching over a trace event,
-// returning the discard set on a match.
-func matchRule(r filter.Rule, e *trace.Event) (bool, map[string]bool) {
-	discards := make(map[string]bool)
-	for _, c := range r {
-		if c.Discard {
-			discards[c.Field] = true
-		}
-		if c.Wildcard {
-			if _, ok := eventField(e, c.Field); !ok {
-				return false, nil
-			}
-			continue
-		}
-		if c.FieldRef != "" {
-			if an, aok := e.Names[c.Field]; aok {
-				bn, bok := e.Names[c.FieldRef]
-				if !bok {
-					return false, nil
-				}
-				eq := an == bn
-				if (c.Op == filter.OpEQ && !eq) || (c.Op == filter.OpNE && eq) {
-					return false, nil
-				}
-				continue
-			}
-			a, aok := eventField(e, c.Field)
-			b, bok := eventField(e, c.FieldRef)
-			if !aok || !bok || !c.Op.Eval(a, b) {
-				return false, nil
-			}
-			continue
-		}
-		v, ok := eventField(e, c.Field)
-		if !ok || !c.Op.Eval(v, c.Value) {
-			return false, nil
-		}
-	}
-	return true, discards
+func (e *eventSource) NameField(name string) (meter.Name, bool) {
+	n, ok := e.Names[name]
+	return n, ok
 }
 
 // Match evaluates the query against one event. With no rules every
 // event matches; otherwise the first matching rule's discards apply.
+// The returned discard set is precomputed per rule and shared across
+// calls: callers must not mutate it.
 func (q *Query) Match(e *trace.Event) (bool, map[string]bool) {
 	if len(q.Rules) == 0 {
 		return true, nil
 	}
-	for _, r := range q.Rules {
-		if ok, d := matchRule(r, e); ok {
-			return true, d
+	src := (*eventSource)(e)
+	for i, r := range q.Rules {
+		if r.MatchSource(src) {
+			if i < len(q.discards) {
+				return true, q.discards[i]
+			}
+			// Query built without Compile: fall back to a fresh set.
+			return true, r.DiscardSet()
 		}
 	}
 	return false, nil

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func batchRecs(n int) []BatchRec {
+	recs := make([]BatchRec, 0, n)
+	for i := 0; i < n; i++ {
+		m, line := rec(uint16(i%4), uint32(i*10), uint32(i%8+1), uint32(100+i%4),
+			fmt.Sprintf("line %d payload padding to some reasonable width", i))
+		recs = append(recs, BatchRec{Meta: m, Line: []byte(line)})
+	}
+	return recs
+}
+
+// TestAppendBatchMatchesSequential proves a batched ingest leaves the
+// store byte-equivalent (per record) to appending the same records one
+// at a time: same records read back, same stats.
+func TestAppendBatchMatchesSequential(t *testing.T) {
+	recs := batchRecs(200)
+
+	seqBE := NewMemBackend()
+	seq, err := Open(seqBE, Config{Shards: 2, SegmentCap: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := seq.Append(r.Meta, string(r.Line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seq.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	batBE := NewMemBackend()
+	bat, err := Open(batBE, Config{Shards: 2, SegmentCap: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several flush-sized batches, as the filter's Recv loop produces.
+	for off := 0; off < len(recs); off += 16 {
+		end := off + 16
+		if end > len(recs) {
+			end = len(recs)
+		}
+		if err := bat.AppendBatch(recs[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bat.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	key := func(r Rec) string {
+		return fmt.Sprintf("%d/%d/%d/%d/%s", r.Meta.Machine, r.Meta.Time, r.Meta.Type, r.Meta.PID, r.Line)
+	}
+	seqRecs, batRecs := allRecs(t, seqBE), allRecs(t, batBE)
+	if len(seqRecs) != len(batRecs) {
+		t.Fatalf("sequential store has %d records, batched %d", len(seqRecs), len(batRecs))
+	}
+	seen := make(map[string]int)
+	for _, r := range seqRecs {
+		seen[key(r)]++
+	}
+	for _, r := range batRecs {
+		if seen[key(r)] == 0 {
+			t.Fatalf("batched store has unexpected record %q", key(r))
+		}
+		seen[key(r)]--
+	}
+	ss, bs := seq.Stats(), bat.Stats()
+	if ss.Appends != bs.Appends {
+		t.Fatalf("appends: sequential %d, batched %d", ss.Appends, bs.Appends)
+	}
+}
+
+// TestAppendBatchRotation drives a batch well past the segment cap and
+// checks segments seal and read back clean.
+func TestAppendBatchRotation(t *testing.T) {
+	be := NewMemBackend()
+	st, err := Open(be, Config{Shards: 1, SegmentCap: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := batchRecs(100)
+	if err := st.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Rotations == 0 {
+		t.Fatal("no rotations despite tiny segment cap")
+	}
+	got := allRecs(t, be)
+	if len(got) != len(recs) {
+		t.Fatalf("read back %d records, want %d", len(got), len(recs))
+	}
+}
+
+// TestAppendBatchReusesCallerBuffer checks AppendBatch does not retain
+// the caller's line memory: mutating the buffer afterwards must not
+// corrupt the store.
+func TestAppendBatchReusesCallerBuffer(t *testing.T) {
+	be := NewMemBackend()
+	st, err := Open(be, Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := []byte("first line contents")
+	if err := st.AppendBatch([]BatchRec{{Meta: Meta{Machine: 1, Time: 5}, Line: line}}); err != nil {
+		t.Fatal(err)
+	}
+	copy(line, "CLOBBERED!!")
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := allRecs(t, be)
+	if len(got) != 1 || got[0].Line != "first line contents" {
+		t.Fatalf("read back %+v, want the original line", got)
+	}
+}
+
+// TestAppendFrameZeroAlloc guards the in-place framing: with dst at
+// capacity a frame append must not allocate.
+func TestAppendFrameZeroAlloc(t *testing.T) {
+	m := Meta{Machine: 3, Time: 77, Type: 1, PID: 42}
+	line := []byte("SEND machine=3 cpuTime=77 procTime=0 pid=42")
+	dst := make([]byte, 0, 4096)
+	if n := testing.AllocsPerRun(200, func() {
+		dst = AppendFrameBytes(dst[:0], m, line)
+	}); n != 0 {
+		t.Fatalf("AppendFrameBytes allocates %v per frame, want 0", n)
+	}
+}

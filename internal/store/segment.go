@@ -124,18 +124,34 @@ func (x *Index) Add(m Meta) {
 }
 
 // AppendFrame appends one record frame to dst and returns the extended
-// slice.
+// slice. The frame is built in place — with dst at capacity the call
+// allocates nothing, which is what lets the batched ingest path frame
+// a whole flush without per-record garbage.
 func AppendFrame(dst []byte, m Meta, line string) []byte {
+	return appendFrame(dst, m, line)
+}
+
+// AppendFrameBytes is AppendFrame for a byte-slice line, avoiding a
+// string conversion on the filter's pooled line buffers.
+func AppendFrameBytes(dst []byte, m Meta, line []byte) []byte {
+	return appendFrame(dst, m, line)
+}
+
+func appendFrame[T string | []byte](dst []byte, m Meta, line T) []byte {
 	le := binary.LittleEndian
-	payload := make([]byte, metaSize+len(line))
-	le.PutUint16(payload[0:2], m.Machine)
-	le.PutUint32(payload[2:6], m.Time)
-	le.PutUint32(payload[6:10], m.Type)
-	le.PutUint32(payload[10:14], m.PID)
-	copy(payload[metaSize:], line)
-	dst = le.AppendUint32(dst, uint32(len(payload)))
-	dst = le.AppendUint32(dst, crc32.ChecksumIEEE(payload))
-	return append(dst, payload...)
+	dst = le.AppendUint32(dst, uint32(metaSize+len(line)))
+	crcAt := len(dst)
+	dst = le.AppendUint32(dst, 0) // CRC back-patched below
+	start := len(dst)
+	var mb [metaSize]byte
+	le.PutUint16(mb[0:2], m.Machine)
+	le.PutUint32(mb[2:6], m.Time)
+	le.PutUint32(mb[6:10], m.Type)
+	le.PutUint32(mb[10:14], m.PID)
+	dst = append(dst, mb[:]...)
+	dst = append(dst, line...)
+	le.PutUint32(dst[crcAt:], crc32.ChecksumIEEE(dst[start:]))
+	return dst
 }
 
 // FrameSize returns the encoded size of a frame carrying a line of the

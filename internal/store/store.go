@@ -100,6 +100,12 @@ type shard struct {
 	nextSeq int
 	active  *SegmentInfo // nil when no segment is being filled
 	sealed  []*SegmentInfo
+	// scratch is the shard's reused framing buffer; append paths build
+	// frames here under mu so the steady state allocates nothing.
+	// pending holds the metadata of the scratch frames, folded into the
+	// active segment's index only once the backend write succeeds.
+	scratch []byte
+	pending []Meta
 }
 
 // Open opens (or creates) the store behind a backend. Existing sealed
@@ -178,6 +184,48 @@ func rewriteSealed(be Backend, name string, recs []Rec) error {
 	return be.Create(name, data)
 }
 
+// openLocked ensures the shard has an active segment. Caller holds
+// sh.mu.
+func (sh *shard) openLocked() {
+	if sh.active == nil {
+		seq := sh.nextSeq
+		sh.nextSeq++
+		sh.active = &SegmentInfo{Name: segName(sh.id, seq, seq), Shard: sh.id, Start: seq, End: seq}
+	}
+}
+
+// flushScratchLocked writes the shard's framed-but-unwritten scratch
+// bytes to the active segment, folds the pending metadata into its
+// index, and — when the segment has reached the cap — seals and
+// compacts it. On a backend error the scratch frames are dropped
+// unindexed, so the in-memory index never gets ahead of the file.
+// Caller holds sh.mu.
+func (s *Store) flushScratchLocked(sh *shard, rotations *int) error {
+	if len(sh.scratch) == 0 {
+		return nil
+	}
+	err := s.be.Append(sh.active.Name, sh.scratch)
+	n := len(sh.scratch)
+	sh.scratch = sh.scratch[:0]
+	if err != nil {
+		sh.pending = sh.pending[:0]
+		return err
+	}
+	sh.active.Bytes += n
+	for _, m := range sh.pending {
+		sh.active.Index.Add(m)
+	}
+	sh.pending = sh.pending[:0]
+	if sh.active.Bytes >= s.cfg.SegmentCap {
+		if err := s.sealLocked(sh); err != nil {
+			return err
+		}
+		*rotations++
+		return s.compactLocked(sh)
+	}
+	return nil
+}
+
 // Append routes one record to its shard and appends it; when the
 // shard's active segment reaches SegmentCap it is sealed and, if
 // enough small sealed segments have piled up, compacted.
@@ -185,29 +233,70 @@ func (s *Store) Append(m Meta, line string) error {
 	sh := s.shards[int(m.Machine)%len(s.shards)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.active == nil {
-		seq := sh.nextSeq
-		sh.nextSeq++
-		sh.active = &SegmentInfo{Name: segName(sh.id, seq, seq), Shard: sh.id, Start: seq, End: seq}
-	}
-	frame := AppendFrame(nil, m, line)
-	if err := s.be.Append(sh.active.Name, frame); err != nil {
+	sh.openLocked()
+	sh.scratch = AppendFrame(sh.scratch[:0], m, line)
+	sh.pending = append(sh.pending[:0], m)
+	var rotations int
+	if err := s.flushScratchLocked(sh, &rotations); err != nil {
 		return err
 	}
-	sh.active.Bytes += len(frame)
-	sh.active.Index.Add(m)
 	s.statsMu.Lock()
 	s.stats.Appends++
+	s.stats.Rotations += rotations
 	s.statsMu.Unlock()
-	if sh.active.Bytes >= s.cfg.SegmentCap {
-		if err := s.sealLocked(sh); err != nil {
+	return nil
+}
+
+// BatchRec is one record of an AppendBatch call. Line aliases
+// caller-owned memory and is fully consumed before AppendBatch
+// returns, so callers can reuse the backing buffer.
+type BatchRec struct {
+	Meta Meta
+	Line []byte
+}
+
+// AppendBatch appends a batch of records, visiting each shard once:
+// all of a shard's records are framed into its reused scratch buffer
+// and written under one lock acquisition, with a backend write per
+// segment-cap boundary instead of per record. The filter's dual-sink
+// flush calls this once per Recv. Equivalent to appending the records
+// one at a time except that rotation is checked at batch granularity
+// within a shard, so a segment may overshoot SegmentCap by at most one
+// batch.
+func (s *Store) AppendBatch(recs []BatchRec) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	nshards := len(s.shards)
+	appends, rotations := 0, 0
+	for id, sh := range s.shards {
+		sh.mu.Lock()
+		sh.scratch, sh.pending = sh.scratch[:0], sh.pending[:0]
+		for i := range recs {
+			if int(recs[i].Meta.Machine)%nshards != id {
+				continue
+			}
+			sh.openLocked()
+			sh.scratch = AppendFrameBytes(sh.scratch, recs[i].Meta, recs[i].Line)
+			sh.pending = append(sh.pending, recs[i].Meta)
+			appends++
+			if sh.active.Bytes+len(sh.scratch) >= s.cfg.SegmentCap {
+				if err := s.flushScratchLocked(sh, &rotations); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+			}
+		}
+		err := s.flushScratchLocked(sh, &rotations)
+		sh.mu.Unlock()
+		if err != nil {
 			return err
 		}
-		s.statsMu.Lock()
-		s.stats.Rotations++
-		s.statsMu.Unlock()
-		return s.compactLocked(sh)
 	}
+	s.statsMu.Lock()
+	s.stats.Appends += appends
+	s.stats.Rotations += rotations
+	s.statsMu.Unlock()
 	return nil
 }
 

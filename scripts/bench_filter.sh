@@ -1,0 +1,40 @@
+#!/bin/sh
+# Runs the filter hot-path and store ingest benchmarks with -benchmem
+# and writes the results as JSON (default: BENCH_filter.json at the
+# repo root). CI runs this and archives the file; the allocation
+# regression gates are the testing.AllocsPerRun tests
+# (internal/filter/alloc_test.go, internal/store/batch_test.go), which
+# fail `go test` outright if a hot-path allocation creeps back in.
+#
+# The two store ingest benchmarks run with fixed iteration counts that
+# write the same total number of records: the in-memory backend keeps
+# everything it ingests, so per-record cost grows with the live heap
+# and unequal record counts would not be comparable.
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_filter.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFilterEngine' -benchmem -benchtime=200000x . >"$tmp"
+go test -run '^$' -bench 'BenchmarkStoreIngest$' -benchmem -benchtime=1600000x . >>"$tmp"
+go test -run '^$' -bench 'BenchmarkStoreIngestBatch$' -benchmem -benchtime=100000x . >>"$tmp"
+
+awk '
+BEGIN { print "{"; print "  \"generated_by\": \"scripts/bench_filter.sh\","; print "  \"benchmarks\": [" }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = "null"; mbs = "null"; bop = "null"; aop = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns  = $i
+        if ($(i+1) == "MB/s")      mbs = $i
+        if ($(i+1) == "B/op")      bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, mbs, bop, aop
+}
+END { print ""; print "  ]"; print "}" }
+' "$tmp" >"$out"
+
+echo "wrote $out"
