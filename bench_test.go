@@ -500,8 +500,10 @@ func BenchmarkFilterEngine(b *testing.B) {
 	}
 }
 
-// A2 baseline: the same selection through the per-line string path
-// (Process), kept for comparison with the batch hot path above.
+// A2 baseline: the same selection through the per-record callback path
+// (ProcessEach), which Process wraps. The callback path reuses the
+// pooled record and a shared line buffer, so it runs allocation-free —
+// only Process's materialized []string costs heap.
 func BenchmarkFilterEngineProcess(b *testing.B) {
 	eng, err := filter.NewEngine([]byte(filter.StandardDescriptions), []byte("machine=1, cpuTime<10000\n"))
 	if err != nil {
@@ -518,11 +520,16 @@ func BenchmarkFilterEngineProcess(b *testing.B) {
 	b.SetBytes(int64(len(stream)))
 	b.ReportAllocs()
 	b.ResetTimer()
+	var lineBytes int
 	for i := 0; i < b.N; i++ {
-		if _, rest, err := eng.Process(stream); err != nil || len(rest) != 0 {
+		rest, err := eng.ProcessEach(stream, func(_ *filter.Record, line []byte) {
+			lineBytes += len(line)
+		})
+		if err != nil || len(rest) != 0 {
 			b.Fatal(err)
 		}
 	}
+	_ = lineBytes
 }
 
 // C4: cost of deducing the global event ordering from a trace.
@@ -845,6 +852,104 @@ func BenchmarkQuerySegmentPruning(b *testing.B) {
 			}
 			b.ReportMetric(float64(st.Segments), "segments")
 			b.ReportMetric(float64(st.Scanned), "segments-scanned")
+		})
+	}
+}
+
+// A2 parallel: ingest throughput of the filter's pipeline at 1/2/4/8
+// workers. Each op is one 16-message chunk through decode → select →
+// format (the same unit as BenchmarkFilterEngine), spread over
+// 2×workers sources; the log sink is a no-op so the measurement is the
+// execution layer, not a sink bottleneck. Scaling beyond 1 worker
+// requires a multi-core host — on one core the pipeline only adds its
+// (bounded) queueing overhead.
+func BenchmarkFilterEngineParallel(b *testing.B) {
+	proto, err := filter.NewEngine([]byte(filter.StandardDescriptions), []byte("machine=1, cpuTime<10000\n"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stream []byte
+	for i := 0; i < 16; i++ {
+		msg := &meter.Msg{
+			Header: meter.Header{Machine: uint16(i % 3), CPUTime: uint32(i * 100)},
+			Body:   &meter.Send{PID: uint32(i), Sock: 4, MsgLength: uint32(i * 64)},
+		}
+		stream = msg.AppendEncode(stream)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pipe := filter.NewPipeline(proto, filter.PipelineConfig{Workers: workers, QueueDepth: 64}, filter.Sinks{
+				Log: func([]byte) error { return nil },
+			}, nil)
+			srcs := make([]*filter.Source, 2*workers)
+			for i := range srcs {
+				srcs[i] = pipe.NewSource()
+			}
+			b.SetBytes(int64(len(stream)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !srcs[i%len(srcs)].Feed(stream) {
+					b.Fatal("pipeline refused feed")
+				}
+			}
+			pipe.Close() // drain inside the timed region
+			b.StopTimer()
+			if st := pipe.Stats(); st.Received != int64(16*b.N) || st.StreamErrors != 0 {
+				b.Fatalf("pipeline processed %d records of %d: %+v", st.Received, 16*b.N, st)
+			}
+		})
+	}
+}
+
+// S2 parallel: full-scan query throughput at 1/2/4/8 workers over the
+// BenchmarkQuerySegmentPruning store. The match-all full scan is the
+// scan-dominated case parallel segment execution targets; output is
+// byte-identical across worker counts (TestParallelRunEquivalence), so
+// only wall-clock moves.
+func BenchmarkQueryParallel(b *testing.B) {
+	be := store.NewMemBackend()
+	st, err := store.Open(be, store.Config{SegmentCap: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := syntheticTrace(4000)
+	for i := range events {
+		e := &events[i]
+		m := store.Meta{
+			Machine: uint16(e.Machine), Time: uint32(e.CPUTime),
+			Type: uint32(e.Type), PID: uint32(e.Fields["pid"]),
+		}
+		if err := st.Append(m, e.Format()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	rd, err := store.OpenReader(be)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := query.Compile("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q.NoPrune = true
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			q.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := query.Run(rd, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Events) != len(events) {
+					b.Fatalf("scan returned %d events, want %d", len(res.Events), len(events))
+				}
+			}
 		})
 	}
 }

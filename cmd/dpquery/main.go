@@ -3,7 +3,7 @@
 // command, for stores copied off the cluster (or written by tests and
 // tools through store.DirBackend).
 //
-//	dpquery -store dir [-no-prune] [-stats] [-report] [rule...]
+//	dpquery -store dir [-no-prune] [-workers n] [-stats] [-report] [rule...]
 //
 // Each rule argument is one alternative (an OR line of a templates
 // file) in the Figure 3.3/3.4 syntax, conditions comma-separated:
@@ -31,11 +31,12 @@ import (
 func main() {
 	dir := flag.String("store", "", "event store directory (required)")
 	noPrune := flag.Bool("no-prune", false, "scan every segment, ignoring footer indexes")
+	workers := flag.Int("workers", 1, "segment-scan parallelism (1 = sequential; results identical)")
 	stats := flag.Bool("stats", false, "print scan statistics to standard error")
 	report := flag.Bool("report", false, "print the analysis report instead of the records")
 	flag.Parse()
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: dpquery -store dir [-no-prune] [-stats] [-report] [rule...]")
+		fmt.Fprintln(os.Stderr, "usage: dpquery -store dir [-no-prune] [-workers n] [-stats] [-report] [rule...]")
 		os.Exit(2)
 	}
 
@@ -44,6 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	q.NoPrune = *noPrune
+	q.Workers = *workers
 
 	rd, err := store.OpenReader(store.NewDirBackend(*dir))
 	if err != nil {

@@ -465,6 +465,7 @@ func (d *daemonState) handleQuery(req *QueryReq) *Reply {
 		return &Reply{Type: TQueryRep, Status: err.Error()}
 	}
 	q.NoPrune = req.NoPrune
+	q.Workers = req.Workers
 	rd, err := store.OpenReader(store.NewFsysBackend(d.p.Machine().FS(), req.UID, req.Dir))
 	if err != nil {
 		return &Reply{Type: TQueryRep, Status: err.Error()}

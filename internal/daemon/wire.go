@@ -334,16 +334,20 @@ type QueryReq struct {
 	Rules   string // selection rules; empty selects everything
 	UID     int
 	NoPrune bool // diagnostic: scan every segment
+	Workers int  // segment-scan parallelism; 0 or 1 is sequential
 }
 
-// Wire encodes the request.
+// Wire encodes the request. Workers rides as a trailing field: an old
+// daemon ignores it, and a new daemon parsing an old request reads the
+// missing field as zero (sequential), so the knob is compatible in
+// both directions.
 func (r *QueryReq) Wire() *WireMsg {
 	noPrune := "0"
 	if r.NoPrune {
 		noPrune = "1"
 	}
 	return &WireMsg{Type: TQueryReq, Fields: []string{
-		r.Dir, r.Rules, strconv.Itoa(r.UID), noPrune,
+		r.Dir, r.Rules, strconv.Itoa(r.UID), noPrune, strconv.Itoa(r.Workers),
 	}}
 }
 
@@ -357,6 +361,7 @@ func ParseQueryReq(w *WireMsg) (*QueryReq, error) {
 		Rules:   w.str(1),
 		UID:     w.num(2),
 		NoPrune: w.str(3) == "1",
+		Workers: w.num(4),
 	}, nil
 }
 

@@ -122,6 +122,28 @@ func TestProcReqRoundTrip(t *testing.T) {
 	}
 }
 
+func TestQueryReqRoundTrip(t *testing.T) {
+	req := &QueryReq{Dir: "/usr/tmp/f1.store", Rules: "machine=2,cpuTime>=100\n", UID: 7, NoPrune: true, Workers: 8}
+	got, err := ParseQueryReq(req.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, req)
+	}
+	// A request from an old peer lacks the trailing Workers field; it
+	// must parse as sequential, not fail.
+	old := req.Wire()
+	old.Fields = old.Fields[:4]
+	got, err = ParseQueryReq(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workers != 0 || got.Dir != req.Dir || !got.NoPrune {
+		t.Fatalf("legacy parse: %+v", got)
+	}
+}
+
 func TestReplyRoundTrip(t *testing.T) {
 	rep := &Reply{Type: TGetFileRep, PID: 9, Status: "ok", Data: "file contents\nline 2"}
 	got := ParseReply(rep.Wire())

@@ -62,6 +62,9 @@ func TestExtractSelectFormatZeroAllocs(t *testing.T) {
 }
 
 func TestProcessBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; allocation gate runs in the non-race pass")
+	}
 	eng, err := NewEngine([]byte(StandardDescriptions), []byte("machine>=0, msgLength=#*\n"))
 	if err != nil {
 		t.Fatal(err)
@@ -87,6 +90,46 @@ func TestProcessBatchZeroAllocs(t *testing.T) {
 		batch.StoreRecs()
 	}); n != 0 {
 		t.Fatalf("ProcessBatch allocates %v per 16-record flush, want 0", n)
+	}
+}
+
+// TestProcessEachZeroAllocs gates the per-record callback path — the
+// one Process and the parallel pipeline's workers run — at zero heap
+// allocations per record once the shared line buffer is warm.
+func TestProcessEachZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; allocation gate runs in the non-race pass")
+	}
+	eng, err := NewEngine([]byte(StandardDescriptions), []byte("machine>=0, msgLength=#*\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := allocStream(16)
+	emitted := 0
+	emit := func(_ *Record, line []byte) {
+		if len(line) == 0 {
+			t.Fatal("empty line emitted")
+		}
+		emitted++
+	}
+	// Warm the pooled record and the engine's line buffer.
+	if _, err := eng.ProcessEach(stream, emit); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 16 {
+		t.Fatalf("emitted %d records, want 16", emitted)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		rest, err := eng.ProcessEach(stream, emit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatal("stream not fully consumed")
+		}
+	}); n != 0 {
+		t.Fatalf("ProcessEach allocates %v per 16-record stream, want 0", n)
 	}
 }
 

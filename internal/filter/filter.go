@@ -68,6 +68,15 @@ func NewEngine(descData, tmplData []byte) (*Engine, error) {
 	return &Engine{desc: d, rules: r, prog: CompileProgram(d, r)}, nil
 }
 
+// Clone returns an engine sharing this engine's descriptions, rules,
+// and compiled program — all immutable after construction — but with
+// independent statistics and formatting buffers. The parallel ingest
+// pipeline gives each worker a clone so selection runs without any
+// cross-worker state.
+func (e *Engine) Clone() *Engine {
+	return &Engine{desc: e.desc, rules: e.rules, prog: e.prog}
+}
+
 // recordPool recycles extraction records across engines; one filter
 // holds a record only for the duration of a Process* call, so a
 // machine full of filters shares a handful of records instead of
@@ -133,15 +142,9 @@ func (b *Batch) StoreRecs() []store.BatchRec {
 // frameSize validates and returns the size field of the frame at the
 // front of buf; n == 0 means incomplete.
 func frameSize(buf []byte) (int, error) {
-	if len(buf) < meter.HeaderSize {
-		return 0, nil
-	}
-	size := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
-	if size < meter.HeaderSize || size > meter.MaxMsgSize {
-		return 0, fmt.Errorf("filter: corrupt size field %d", size)
-	}
-	if len(buf) < size {
-		return 0, nil
+	size, err := meter.PeekSize(buf)
+	if err != nil {
+		return 0, fmt.Errorf("filter: corrupt size field: %w", err)
 	}
 	return size, nil
 }
@@ -220,9 +223,12 @@ func (e *Engine) selectCompiled(pl *eventPlan, rec *Record) (keep bool, mask uin
 // Process consumes raw meter-stream bytes carried over from previous
 // calls plus the new data, and returns the formatted log lines of the
 // records that survive selection, together with the unconsumed tail.
+// The only allocations are the returned strings themselves; the
+// extraction and formatting underneath run through the pooled
+// zero-allocation machinery.
 func (e *Engine) Process(buf []byte) (lines []string, rest []byte, err error) {
-	rest, err = e.ProcessEach(buf, func(_ *Record, line string) {
-		lines = append(lines, line)
+	rest, err = e.ProcessEach(buf, func(_ *Record, line []byte) {
+		lines = append(lines, string(line))
 	})
 	return lines, rest, err
 }
@@ -230,11 +236,12 @@ func (e *Engine) Process(buf []byte) (lines []string, rest []byte, err error) {
 // ProcessEach is Process with a per-record callback: each surviving
 // record and its formatted log line are handed to emit as they are
 // extracted, so a caller can fan one record out to several sinks
-// without a second framing pass. The record is pooled: emit must not
-// retain it past the callback. Callers that can take the batch form
-// should prefer ProcessBatch, which does not materialize a string per
-// record.
-func (e *Engine) ProcessEach(buf []byte, emit func(rec *Record, line string)) (rest []byte, err error) {
+// without a second framing pass. The record is pooled and the line
+// aliases a reused buffer: emit must not retain either past the
+// callback (copy the line if it must outlive the call). With buffers
+// warm, ProcessEach performs zero heap allocations per record; callers
+// that want the whole flush as one image should use ProcessBatch.
+func (e *Engine) ProcessEach(buf []byte, emit func(rec *Record, line []byte)) (rest []byte, err error) {
 	rec := GetRecord()
 	defer PutRecord(rec)
 	for {
@@ -248,7 +255,6 @@ func (e *Engine) ProcessEach(buf []byte, emit func(rec *Record, line string)) (r
 		}
 		buf = buf[size:]
 		e.Received++
-		var line string
 		if pl.wide {
 			// Wide event type: discard sets exceed the mask; selection
 			// still runs compiled, formatting takes the map-based path.
@@ -261,7 +267,7 @@ func (e *Engine) ProcessEach(buf []byte, emit func(rec *Record, line string)) (r
 			if rule >= 0 {
 				discards = pl.rules[rule].discards
 			}
-			line = rec.Format(discards)
+			e.lineBuf = append(e.lineBuf[:0], rec.Format(discards)...)
 		} else {
 			keep, mask := e.selectCompiled(pl, rec)
 			if !keep {
@@ -269,10 +275,9 @@ func (e *Engine) ProcessEach(buf []byte, emit func(rec *Record, line string)) (r
 				continue
 			}
 			e.lineBuf = rec.AppendFormat(e.lineBuf[:0], mask)
-			line = string(e.lineBuf)
 		}
 		e.Kept++
-		emit(rec, line)
+		emit(rec, e.lineBuf)
 	}
 }
 
@@ -282,16 +287,22 @@ func (e *Engine) ProcessEach(buf []byte, emit func(rec *Record, line string)) (r
 //	args[1] listen port
 //	args[2] descriptions file path (optional; default standard file)
 //	args[3] templates file path (optional; default standard file)
+//	args[4] ingest workers (optional; default GOMAXPROCS)
 //
 // It binds a stream socket, accepts one meter connection per metered
 // process creation, applies selection, and appends surviving records
-// to its log file. It runs until killed; "The events detected and
-// logged by the filter process are not seen by the user as they occur"
-// (section 3.4) — the user retrieves the log afterwards with getlog.
+// to its log file. Each connection is drained by its own goroutine
+// into a bounded-parallelism Pipeline: selection and formatting run on
+// the pipeline's workers, store appends land concurrently on the
+// sharded store, and the flat log is written by one serialized writer
+// that preserves per-connection record order. It runs until killed;
+// "The events detected and logged by the filter process are not seen
+// by the user as they occur" (section 3.4) — the user retrieves the
+// log afterwards with getlog.
 func Main(p *kernel.Process) int {
 	args := p.Args()
 	if len(args) < 2 {
-		p.Printf("filter: usage: name port [descriptions [templates]]\n")
+		p.Printf("filter: usage: name port [descriptions [templates [workers]]]\n")
 		return 1
 	}
 	name := args[0]
@@ -306,6 +317,15 @@ func Main(p *kernel.Process) int {
 	}
 	if len(args) > 3 && args[3] != "" {
 		tmplPath = args[3]
+	}
+	workers := 0 // 0: PipelineConfig default (GOMAXPROCS)
+	if len(args) > 4 && args[4] != "" {
+		w, err := strconv.Atoi(args[4])
+		if err != nil || w < 0 {
+			p.Printf("filter: bad worker count %q\n", args[4])
+			return 1
+		}
+		workers = w
 	}
 
 	descData, err := p.ReadFile(descPath)
@@ -349,87 +369,40 @@ func Main(p *kernel.Process) int {
 	}
 
 	logPath := LogPath(name)
-	// Per-connection carry buffers hold only the partial trailing frame
-	// of the last Recv; each buffer is reused in place rather than
-	// reallocated per iteration.
-	conns := make(map[int]*meterConn)
-	var (
-		fds      []int // reused Select argument, rebuilt only on churn
-		fdsDirty = true
-		batch    Batch // reused flush accumulator
-	)
+	pipe := NewPipeline(eng, PipelineConfig{Workers: workers}, Sinks{
+		Store: st,
+		Log:   func(lines []byte) error { return p.AppendFile(logPath, lines) },
+	}, p.Go)
+	// On kill the Accept below unwinds; draining the pipeline before
+	// the process finishes keeps shutdown orderly (no worker left
+	// blocked on a queue the cluster's shutdown would wait on).
+	defer pipe.Close()
+
 	for {
-		if fdsDirty {
-			fds = fds[:0]
-			fds = append(fds, lfd)
-			for fd := range conns {
-				fds = append(fds, fd)
-			}
-			fdsDirty = false
-		}
-		ready, err := p.Select(fds)
+		nfd, _, err := p.Accept(lfd)
 		if err != nil {
 			return 0 // killed: normal filter shutdown
 		}
-		for _, fd := range ready {
-			if fd == lfd {
-				nfd, _, err := p.Accept(lfd)
+		fd := nfd
+		src := pipe.NewSource()
+		p.Go(func() {
+			defer func() { _ = p.Close(fd) }()
+			for {
+				// A large Recv drains whole meter-buffer flushes in
+				// one call, handing the engine maximal contiguous
+				// frame runs.
+				data, err := p.Recv(fd, 65536)
 				if err != nil {
-					return 0
+					// EOF or error: the metered process (and every
+					// holder of its meter socket) is gone.
+					return
 				}
-				conns[nfd] = &meterConn{}
-				fdsDirty = true
-				continue
-			}
-			c := conns[fd]
-			if c == nil {
-				continue
-			}
-			// A large Recv drains whole meter-buffer flushes in one
-			// call, handing the engine maximal contiguous frame runs.
-			data, err := p.Recv(fd, 65536)
-			if err != nil {
-				// EOF or error: the metered process (and every holder
-				// of its meter socket) is gone.
-				_ = p.Close(fd)
-				delete(conns, fd)
-				fdsDirty = true
-				continue
-			}
-			buf := data
-			if len(c.carry) > 0 {
-				c.carry = append(c.carry, data...)
-				buf = c.carry
-			}
-			batch.Reset()
-			rest, err := eng.ProcessBatch(buf, &batch)
-			if err != nil {
-				p.Printf("filter: %v\n", err)
-				_ = p.Close(fd)
-				delete(conns, fd)
-				fdsDirty = true
-				continue
-			}
-			// Keep only the partial tail; copy-down within the carry
-			// buffer (or from data) so nothing holds the Recv slice.
-			c.carry = append(c.carry[:0], rest...)
-			// One flush per Recv: a single flat-log append and a single
-			// batched store append, instead of a write per record.
-			if batch.Len() > 0 {
-				if err := st.AppendBatch(batch.StoreRecs()); err != nil {
-					p.Printf("filter: store append: %v\n", err)
-				}
-				if err := p.AppendFile(logPath, batch.Lines); err != nil {
-					p.Printf("filter: log append: %v\n", err)
+				if !src.Feed(data) {
+					return
 				}
 			}
-		}
+		})
 	}
-}
-
-// meterConn is the per-connection state of the filter's socket loop.
-type meterConn struct {
-	carry []byte // partial trailing frame carried to the next Recv
 }
 
 // ProgramName is the registry name of the standard filter program; the

@@ -282,6 +282,32 @@ func (p *Process) charge(d time.Duration) {
 	p.cpu.Charge(d)
 }
 
+// Go runs fn on an auxiliary goroutine of the process — the kernel's
+// thread spawn for program bodies that want internal parallelism (the
+// parallel filter's connection drainers and its log writer). The
+// goroutine shares the process's descriptor table and metering state,
+// and its system calls block, charge, and honor signals exactly like
+// the main body's. When the process is killed, any system call made
+// from the goroutine unwinds it silently, the same way the kill panic
+// unwinds the program body; cluster shutdown waits for auxiliary
+// goroutines like any process goroutine. fn must not call Exit — the
+// process's exit status belongs to the program body.
+func (p *Process) Go(fn func()) {
+	p.machine.wg.Add(1)
+	go func() {
+		defer p.machine.wg.Done()
+		defer func() {
+			switch v := recover().(type) {
+			case nil, killedPanic, exitPanic:
+				// A kill (or stray Exit) ends only this goroutine.
+			default:
+				panic(v)
+			}
+		}()
+		fn()
+	}()
+}
+
 // nextPC advances and returns the synthetic program counter recorded
 // in meter messages. A real kernel records the user PC of the system
 // call; a deterministic per-process counter serves the same purpose —

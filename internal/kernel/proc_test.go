@@ -329,3 +329,56 @@ func TestDetachedKillReturnsError(t *testing.T) {
 		t.Fatalf("err = %v, want ErrKilled", err)
 	}
 }
+
+// TestProcessGoKilledWorker verifies the auxiliary-goroutine contract:
+// a goroutine launched with Process.Go may issue syscalls, and when the
+// process is killed the goroutine's kill unwind is absorbed — the
+// process exits, and cluster shutdown does not hang waiting for it.
+func TestProcessGoKilledWorker(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	started := make(chan struct{})
+	p, err := red.Spawn(SpawnSpec{UID: testUID, Name: "w", Program: func(p *Process) int {
+		p.Go(func() {
+			close(started)
+			for {
+				p.Compute(time.Millisecond) // unwinds with killedPanic on kill
+			}
+		})
+		for {
+			p.Compute(time.Millisecond)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := red.Signal(p.PID(), SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if _, reason := p.WaitExit(); reason != ReasonKilled {
+		t.Fatalf("reason = %s, want killed", reason)
+	}
+	// t.Cleanup's c.Shutdown hanging on the worker's wg registration
+	// would fail the test by deadlock; reaching here is the assertion.
+}
+
+// TestProcessGoOutlivesNormalExit verifies that a Go goroutine finishing
+// normally releases its shutdown registration.
+func TestProcessGoOutlivesNormalExit(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	ran := make(chan struct{})
+	p, err := red.Spawn(SpawnSpec{UID: testUID, Name: "w", Program: func(p *Process) int {
+		p.Go(func() {
+			p.Compute(time.Millisecond)
+			close(ran)
+		})
+		<-ran
+		return 0
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, reason := p.WaitExit(); status != 0 || reason != ReasonNormal {
+		t.Fatalf("exit = (%d, %s), want (0, normal)", status, reason)
+	}
+}

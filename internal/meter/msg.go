@@ -144,6 +144,25 @@ func Decode(b []byte) (Msg, int, error) {
 	return Msg{Header: h, Body: body}, int(h.Size), nil
 }
 
+// PeekSize validates the size field of the message at the front of b
+// and returns it without decoding the body. n == 0 with a nil error
+// means b holds only part of a message; an out-of-range size field is
+// corruption. This is the framing primitive filters use to walk a
+// meter byte stream record by record.
+func PeekSize(b []byte) (int, error) {
+	if len(b) < HeaderSize {
+		return 0, nil
+	}
+	size := int(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+	if size < HeaderSize || size > MaxMsgSize {
+		return 0, fmt.Errorf("%w: %d", ErrBadSize, size)
+	}
+	if len(b) < size {
+		return 0, nil
+	}
+	return size, nil
+}
+
 // DecodeStream parses as many complete messages as b contains and
 // returns them with the unconsumed tail. A partial trailing message is
 // left in the tail; corrupt data is reported as an error.

@@ -1,0 +1,195 @@
+package query
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"dpm/internal/store"
+	"dpm/internal/trace"
+)
+
+// This file is the query engine's multicore execution layer. Sequential
+// Run walks each shard's admitted segments lazily on one goroutine; the
+// parallel path load-balances segment scans — parse frames, evaluate
+// rules, project discards — across a bounded worker pool, then feeds
+// the same cpuTime-ordered heap merge. The output is byte-identical to
+// sequential Run, order included, because:
+//
+//   - per-shard event order is a fold of trace.Merge over the shard's
+//     segments in rotation order, and the parallel path performs the
+//     identical fold (workers only scan; the fold itself happens on the
+//     merge goroutine, in task order);
+//   - cross-shard order comes from the same cursorHeap with the same
+//     shard-id tie-break;
+//   - stats are sums of per-segment counters, which commute.
+//
+// Results flow through one shared bounded channel: workers block when
+// the merge goroutine falls behind (backpressure bounds memory at
+// roughly queue-depth segments beyond what the in-order fold has
+// already consumed), and the merge loop always drains, so no
+// configuration of slow shards can deadlock the pool.
+
+// scanTask is one segment to scan. Tasks are numbered in shard-major
+// rotation order; the fold consumes results strictly in task order so
+// per-shard merges match the sequential cursor exactly.
+type scanTask struct {
+	idx   int
+	shard int
+	rs    *store.ReaderSegment
+}
+
+// scanResult is one scanned segment's contribution.
+type scanResult struct {
+	idx     int
+	shard   int
+	matched []trace.Event
+	scanned int // 1 per load attempt (mirrors stats.Scanned)
+	records int
+	bad     int
+	err     error
+}
+
+// scanSegment runs the record-selection tier over one segment: the
+// exact body of shardCursor.loadNext, minus the merge (which must stay
+// in task order and so runs on the collector).
+func scanSegment(q *Query, rs *store.ReaderSegment) scanResult {
+	res := scanResult{scanned: 1}
+	seg, err := rs.Load()
+	if err != nil && !errors.Is(err, store.ErrTruncated) {
+		return scanResult{err: err}
+	}
+	res.records = len(seg.Recs)
+	for _, rec := range seg.Recs {
+		evs, err := trace.ParseLog([]byte(rec.Line))
+		if err != nil || len(evs) != 1 {
+			res.bad++
+			continue
+		}
+		ev := evs[0]
+		ok, discards := q.Match(&ev)
+		if !ok {
+			continue
+		}
+		res.matched = append(res.matched, project(ev, discards))
+	}
+	return res
+}
+
+// runParallel executes the query with a pool of workers scanning
+// segments concurrently. It mirrors Run exactly: same pruning, same
+// per-shard ordering, same heap merge, same stats.
+func runParallel(rd *store.Reader, q *Query, workers int) (*Result, error) {
+	res := &Result{}
+
+	// Admission pass: prune by footer, number the survivors in
+	// shard-major rotation order. Identical decisions to Scan.
+	var tasks []scanTask
+	shards := rd.Shards()
+	for shardID, segs := range shards {
+		for _, rs := range segs {
+			res.Stats.Segments++
+			if rs.Sealed && !q.Admits(rs.Index) {
+				res.Stats.Pruned++
+				continue
+			}
+			tasks = append(tasks, scanTask{idx: len(tasks), shard: shardID, rs: rs})
+		}
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	// Worker pool: a shared atomic cursor hands out tasks, a shared
+	// bounded channel carries results back. The collector below receives
+	// unconditionally while waiting for the next in-order result, so a
+	// full channel only ever means "workers are ahead of the fold" —
+	// they park until the fold catches up.
+	var (
+		next    atomic.Int64
+		results = make(chan scanResult, 2*workers)
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(tasks) {
+					return
+				}
+				r := scanSegment(q, tasks[n].rs)
+				r.idx, r.shard = n, tasks[n].shard
+				results <- r
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// In-order fold: buffer out-of-order arrivals, consume strictly by
+	// task index so each shard's buffer is built by the same
+	// trace.Merge fold as the sequential cursor.
+	bufs := make([][]trace.Event, len(shards))
+	pending := make(map[int]scanResult, 2*workers)
+	var firstErr error
+	errIdx := len(tasks)
+	want := 0
+	for r := range results {
+		pending[r.idx] = r
+		for {
+			nr, ok := pending[want]
+			if !ok {
+				break
+			}
+			delete(pending, want)
+			want++
+			if nr.err != nil {
+				// Remember the earliest failure in task order (the one
+				// the sequential walk would have hit first) and keep
+				// draining so the workers can exit.
+				if nr.idx < errIdx {
+					firstErr, errIdx = nr.err, nr.idx
+				}
+				continue
+			}
+			res.Stats.Scanned += nr.scanned
+			res.Stats.Records += nr.records
+			res.Stats.BadLines += nr.bad
+			res.Stats.Matched += len(nr.matched)
+			bufs[nr.shard] = trace.Merge(bufs[nr.shard], nr.matched)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Cross-shard merge: the same cursorHeap as Scan, over cursors whose
+	// segments are already fully loaded.
+	var h cursorHeap
+	for shardID, buf := range bufs {
+		if len(buf) == 0 {
+			continue
+		}
+		heap.Push(&h, &heapEntry{c: &shardCursor{q: q, buf: buf, stats: &res.Stats}, shard: shardID})
+	}
+	nextSeq := 0
+	for h.Len() > 0 {
+		e := h[0]
+		ev := e.c.buf[e.c.idx]
+		e.c.idx++
+		ev.Seq = nextSeq
+		nextSeq++
+		res.Events = append(res.Events, ev)
+		if e.c.idx < len(e.c.buf) {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dpm/internal/meter"
+	"dpm/internal/store"
+	"dpm/internal/trace"
+)
+
+// buildRandomStore fills a store with a pseudo-random (but seeded,
+// hence reproducible) event population: clustered machines, heavily
+// duplicated timestamps (to stress the merge's tie-breaking), varied
+// types and pids. With unsealedTail, extra records land after the last
+// Flush so the snapshot ends in an unsealed segment per written shard.
+func buildRandomStore(t *testing.T, rng *rand.Rand, n int, cfg store.Config, unsealedTail bool) store.Backend {
+	t.Helper()
+	be := store.NewMemBackend()
+	st, err := store.Open(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(i int) {
+		typ := meter.EvSend
+		if i%3 == 1 {
+			typ = meter.EvRecv
+		} else if i%3 == 2 {
+			typ = meter.EvFork
+		}
+		e := trace.Event{
+			Seq: i, Type: typ, Event: typ.String(),
+			Machine: rng.Intn(6) + 1,
+			// Few distinct timestamps: ties across shards are the norm,
+			// so any tie-break drift between the paths shows up.
+			CPUTime: int64(rng.Intn(40) * 100),
+			Fields:  map[string]uint64{"pid": uint64(100 + rng.Intn(5))},
+			Names:   map[string]meter.Name{},
+		}
+		if typ == meter.EvSend || typ == meter.EvRecv {
+			e.Fields["sock"] = 3
+			e.Fields["msgLength"] = uint64(64 + rng.Intn(512))
+		} else {
+			e.Fields["newPid"] = e.Fields["pid"] + 1
+		}
+		m := store.Meta{
+			Machine: uint16(e.Machine), Time: uint32(e.CPUTime),
+			Type: uint32(e.Type), PID: uint32(e.Fields["pid"]),
+		}
+		if err := st.Append(m, e.Format()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := 0
+	if unsealedTail {
+		tail = n / 10
+	}
+	for i := 0; i < n-tail; i++ {
+		add(i)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := n - tail; i < n; i++ {
+		add(i)
+	}
+	return be
+}
+
+// format renders a result the way the daemon ships it: the stats line
+// then every record, order included — the byte-identical unit of
+// comparison.
+func format(res *Result) string {
+	var b strings.Builder
+	b.WriteString(res.Stats.String())
+	fmt.Fprintf(&b, " badLines=%d\n", res.Stats.BadLines)
+	for i := range res.Events {
+		fmt.Fprintf(&b, "seq=%d %s\n", res.Events[i].Seq, res.Events[i].Format())
+	}
+	return b.String()
+}
+
+// TestParallelRunEquivalence sweeps randomized rule sets against
+// randomized shard layouts and asserts the parallel path is
+// byte-identical — events, order, sequence numbers, statistics — to
+// sequential Run at every worker count.
+func TestParallelRunEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rules := []string{
+		"",
+		"machine=2",
+		"cpuTime>=500,cpuTime<2000",
+		"type=4\ntype=8",
+		"pid=101,machine=#*",
+		"msgLength>=300,cpuTime=#*",
+		"machine=1,machine=2", // self-contradictory: prunes everything
+		"machine=*,pid>=0",
+		"cpuTime>=1000\nmachine=3,cpuTime<3000",
+	}
+	layouts := []struct {
+		name     string
+		cfg      store.Config
+		n        int
+		unsealed bool
+	}{
+		{"1shard", store.Config{Shards: 1, SegmentCap: 512}, 300, false},
+		{"3shards", store.Config{Shards: 3, SegmentCap: 256}, 400, false},
+		{"8shards", store.Config{Shards: 8, SegmentCap: 512}, 500, false},
+		{"unsealed-tail", store.Config{Shards: 4, SegmentCap: 384}, 400, true},
+		{"one-big-segment", store.Config{Shards: 2, SegmentCap: 1 << 20}, 200, false},
+	}
+	for _, lay := range layouts {
+		t.Run(lay.name, func(t *testing.T) {
+			be := buildRandomStore(t, rng, lay.n, lay.cfg, lay.unsealed)
+			rd, err := store.OpenReader(be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ri, text := range rules {
+				for _, noPrune := range []bool{false, true} {
+					q, err := Compile(text)
+					if err != nil {
+						t.Fatal(err)
+					}
+					q.NoPrune = noPrune
+					seq, err := Run(rd, q)
+					if err != nil {
+						t.Fatalf("rule %d sequential: %v", ri, err)
+					}
+					want := format(seq)
+					for _, workers := range []int{2, 8} {
+						q.Workers = workers
+						par, err := Run(rd, q)
+						if err != nil {
+							t.Fatalf("rule %d workers=%d: %v", ri, workers, err)
+						}
+						if got := format(par); got != want {
+							t.Fatalf("rule %d noPrune=%v workers=%d diverges from sequential:\n--- sequential\n%s\n--- parallel\n%s",
+								ri, noPrune, workers, want, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRunDeterminism runs the same parallel query repeatedly
+// and across worker counts: scheduling must never leak into results.
+func TestParallelRunDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	be := buildRandomStore(t, rng, 400, store.Config{Shards: 4, SegmentCap: 256}, false)
+	rd, err := store.OpenReader(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile("cpuTime>=200\nmachine=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		q.Workers = workers
+		for rep := 0; rep < 5; rep++ {
+			res, err := Run(rd, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := format(res)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("workers=%d rep=%d: nondeterministic result", workers, rep)
+			}
+		}
+	}
+	if want == "" || !strings.Contains(want, "matched=") {
+		t.Fatal("determinism run produced no output")
+	}
+}

@@ -37,6 +37,11 @@ type Query struct {
 	// NoPrune disables footer pruning, scanning every segment — the
 	// diagnostic baseline the benchmarks compare against.
 	NoPrune bool
+	// Workers sets the segment-scan parallelism of Run. Zero or one
+	// selects the sequential path; higher values scan segments on a
+	// worker pool of that size (see parallel.go). Output is identical
+	// either way.
+	Workers int
 
 	bounds   []bounds
 	discards []map[string]bool
@@ -440,8 +445,12 @@ func (it *Iter) Next() (trace.Event, bool, error) {
 func (it *Iter) Stats() Stats { return it.stats }
 
 // Run drains a query and returns all matching events with the final
-// statistics.
+// statistics. With q.Workers > 1 the segment scans run on a worker
+// pool; results are identical to the sequential path, byte for byte.
 func Run(rd *store.Reader, q *Query) (*Result, error) {
+	if q.Workers > 1 {
+		return runParallel(rd, q, q.Workers)
+	}
 	it, err := Scan(rd, q)
 	if err != nil {
 		return nil, err

@@ -268,8 +268,23 @@ func (s *Store) AppendBatch(recs []BatchRec) error {
 		return nil
 	}
 	nshards := len(s.shards)
+	// One pass over the batch builds a shard-presence bitmask, so shards
+	// with no records in this batch are skipped without taking their
+	// locks — with concurrent ingest workers each flushing small batches,
+	// most shards are usually absent from any given batch.
+	var present uint64
+	if nshards <= 64 {
+		for i := range recs {
+			present |= 1 << (int(recs[i].Meta.Machine) % nshards)
+		}
+	} else {
+		present = ^uint64(0)
+	}
 	appends, rotations := 0, 0
 	for id, sh := range s.shards {
+		if nshards <= 64 && present&(1<<id) == 0 {
+			continue
+		}
 		sh.mu.Lock()
 		sh.scratch, sh.pending = sh.scratch[:0], sh.pending[:0]
 		for i := range recs {

@@ -16,9 +16,15 @@ out="${1:-BENCH_filter.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFilterEngine' -benchmem -benchtime=200000x . >"$tmp"
+go test -run '^$' -bench 'BenchmarkFilterEngine$|BenchmarkFilterEngineProcess$' -benchmem -benchtime=200000x . >"$tmp"
 go test -run '^$' -bench 'BenchmarkStoreIngest$' -benchmem -benchtime=1600000x . >>"$tmp"
 go test -run '^$' -bench 'BenchmarkStoreIngestBatch$' -benchmem -benchtime=100000x . >>"$tmp"
+# Scaling benchmarks: the parallel ingest pipeline and the concurrent
+# query at 1/2/4/8 workers, so the perf trajectory records how the
+# system uses cores, not just single-thread ns/op. Fixed iteration
+# counts for the same comparability reason as the ingest pair.
+go test -run '^$' -bench 'BenchmarkFilterEngineParallel' -benchmem -benchtime=100000x . >>"$tmp"
+go test -run '^$' -bench 'BenchmarkQueryParallel' -benchmem -benchtime=20x . >>"$tmp"
 
 awk '
 BEGIN { print "{"; print "  \"generated_by\": \"scripts/bench_filter.sh\","; print "  \"benchmarks\": [" }
