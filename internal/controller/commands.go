@@ -11,6 +11,7 @@ import (
 	"dpm/internal/fsys"
 	"dpm/internal/kernel"
 	"dpm/internal/meter"
+	"dpm/internal/obs"
 )
 
 // This file implements the control commands of the user's manual
@@ -30,6 +31,7 @@ func (c *Controller) cmdHelp() {
   removeprocess name machine pid                     remove one process
   jobs [name...]                                     show job status
   status                                             show per-machine reachability
+  stats [machine|jobname]                            show merged per-machine metrics
   ps machine                                         list a machine's processes
   stdin jobname machine pid word...                  send input to a process
   getlog filtername destfile                         retrieve a filter's trace log (incremental)
@@ -583,6 +585,93 @@ func (c *Controller) cmdStatus() {
 			c.printf("machine %s: reachable\n", name)
 		}
 	}
+}
+
+// cmdStats fetches each target machine's metrics snapshot over the
+// daemon wire (TStatsReq), merges the replies, and renders the
+// aggregate report: counters, gauges, and latency histograms with
+// p50/p95/p99. With no argument every machine in the cluster reports;
+// a machine name narrows the set to that machine, and a job name
+// narrows it to the machines the job's processes and filter run on. A
+// machine that does not answer within the retry policy degrades the
+// report — it is listed as missing — rather than hanging the command.
+func (c *Controller) cmdStats(args []string) {
+	if len(args) > 1 {
+		c.printf("usage: stats [machine|jobname]\n")
+		return
+	}
+	targets, err := c.statsTargets(args)
+	if err != nil {
+		c.printf("stats: %v\n", err)
+		return
+	}
+	var merged *obs.Snapshot
+	var reporting, missing []string
+	for _, host := range targets {
+		rep, err := c.exchange(host, (&daemon.StatsReq{UID: c.uid}).Wire())
+		if err != nil || !rep.OK() {
+			missing = append(missing, host)
+			continue
+		}
+		s, perr := obs.ParseSnapshot([]byte(rep.Data))
+		if perr != nil {
+			missing = append(missing, host)
+			continue
+		}
+		reporting = append(reporting, host)
+		if merged == nil {
+			merged = s
+		} else {
+			merged.Merge(s)
+		}
+	}
+	c.printf("stats: %d/%d machines reporting (%s)\n",
+		len(reporting), len(targets), strings.Join(reporting, " "))
+	if len(missing) > 0 {
+		c.printf("stats: degraded, missing %s\n", strings.Join(missing, " "))
+	}
+	if merged == nil {
+		return
+	}
+	var buf strings.Builder
+	merged.Render(&buf)
+	c.printf("%s", buf.String())
+}
+
+// statsTargets resolves the stats command's optional argument to the
+// machines to poll.
+func (c *Controller) statsTargets(args []string) ([]string, error) {
+	if len(args) == 0 {
+		var all []string
+		for _, m := range c.cluster.Machines() {
+			all = append(all, m.Name())
+		}
+		return all, nil
+	}
+	name := args[0]
+	c.mu.Lock()
+	j := c.jobs[name]
+	c.mu.Unlock()
+	if j != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		seen := make(map[string]bool)
+		var targets []string
+		for _, p := range j.Procs {
+			if !seen[p.Machine] {
+				seen[p.Machine] = true
+				targets = append(targets, p.Machine)
+			}
+		}
+		if j.Filter != nil && !seen[j.Filter.Machine] {
+			targets = append(targets, j.Filter.Machine)
+		}
+		return targets, nil
+	}
+	if _, err := c.cluster.Machine(name); err == nil {
+		return []string{name}, nil
+	}
+	return nil, fmt.Errorf("no machine or job named '%s'", name)
 }
 
 // cmdPs lists the processes on a machine (pid, uid, name) through its

@@ -304,6 +304,8 @@ func (c *Controller) exec(line string, depth int) bool {
 		c.cmdJobs(args)
 	case "status":
 		c.cmdStatus()
+	case "stats":
+		c.cmdStats(args)
 	case "ps":
 		c.cmdPs(args)
 	case "stdin":

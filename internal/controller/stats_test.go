@@ -1,0 +1,82 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStatsCommand: the stats command polls every machine's
+// meterdaemon over the wire, merges the snapshots, and renders the
+// aggregate report with counters and histogram quantiles.
+func TestStatsCommand(t *testing.T) {
+	_, ctl, out := newSystem(t)
+	ctl.SetRetryPolicy(shortRetry)
+
+	// A status probe first, so every machine has served at least one
+	// list request and the merged report has a known nonzero counter.
+	ctl.Exec("status")
+	ctl.Exec("stats")
+	text := out.String()
+	if !strings.Contains(text, "stats: 4/4 machines reporting") {
+		t.Fatalf("stats header:\n%s", text)
+	}
+	for _, want := range []string{
+		"daemon.req.list",  // counted by the probed daemons
+		"daemon.req.stats", // counted by serving this very command
+		"daemon.rtt.list",  // controller-side round-trip histogram
+		"p50", "p95", "p99",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats report lacks %q:\n%s", want, text)
+		}
+	}
+
+	// Narrowed to one machine the report is that machine's alone.
+	ctl.Exec("stats red")
+	if !strings.Contains(out.String(), "stats: 1/1 machines reporting (red)") {
+		t.Errorf("single-machine stats:\n%s", out.String())
+	}
+
+	// An unknown target is an error, not a hang.
+	ctl.Exec("stats nosuch")
+	if !strings.Contains(out.String(), "stats: no machine or job named 'nosuch'") {
+		t.Errorf("bad target:\n%s", out.String())
+	}
+}
+
+// TestStatsJobTarget: a job name narrows the poll to the machines the
+// job's processes and its filter run on.
+func TestStatsJobTarget(t *testing.T) {
+	_, ctl, out := newSystem(t)
+	ctl.SetRetryPolicy(shortRetry)
+	ctl.Exec("filter f1 blue")
+	ctl.Exec("newjob foo")
+	ctl.Exec("addprocess foo red B")
+
+	ctl.Exec("stats foo")
+	text := out.String()
+	if !strings.Contains(text, "stats: 2/2 machines reporting (red blue)") {
+		t.Fatalf("job-scoped stats:\n%s", text)
+	}
+}
+
+// TestStatsUnderPartition: a machine cut off mid-poll degrades the
+// report — it is listed as missing, the survivors still merge — and
+// the command returns within the retry policy instead of hanging.
+func TestStatsUnderPartition(t *testing.T) {
+	c, ctl, out := newSystem(t)
+	ctl.SetRetryPolicy(shortRetry)
+
+	cutFrom(t, c, ctl, "green")
+	ctl.Exec("stats")
+	text := out.String()
+	if !strings.Contains(text, "stats: 3/4 machines reporting") {
+		t.Fatalf("degraded header:\n%s", text)
+	}
+	if !strings.Contains(text, "stats: degraded, missing green") {
+		t.Fatalf("missing list:\n%s", text)
+	}
+	if !strings.Contains(text, "daemon.req.stats") {
+		t.Errorf("degraded report still renders survivors:\n%s", text)
+	}
+}

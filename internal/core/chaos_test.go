@@ -4,13 +4,17 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"strings"
 	"testing"
 	"time"
 
 	"dpm/internal/controller"
 	"dpm/internal/daemon"
 	"dpm/internal/filter"
+	"dpm/internal/fsys"
 	"dpm/internal/kernel"
+	"dpm/internal/obs"
 	"dpm/internal/query"
 	"dpm/internal/store"
 	"dpm/internal/trace"
@@ -250,6 +254,63 @@ func TestChaosSoak(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
+
+	// The stats command works over the healed fabric: every machine
+	// reports, and the merged report carries the daemon's request
+	// accounting with round-trip quantiles.
+	ctl.Exec("stats")
+	text := out.String()
+	if !strings.Contains(text, "stats: 4/4 machines reporting") {
+		t.Fatalf("stats after heal:\n%s", text)
+	}
+	for _, want := range []string{"daemon.req.create", "daemon.rtt.create", "p99"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats report lacks %q", want)
+		}
+	}
+
+	// The per-machine registries agree with the injected fault history
+	// (FaultStats is now a view over the same counters), and the merge
+	// of all machines exports for CI when DPM_STATS_OUT names a file.
+	var merged *obs.Snapshot
+	for _, m := range s.Cluster.Machines() {
+		snap := m.Obs().Snapshot()
+		snap.Machine = m.Name()
+		if merged == nil {
+			merged = snap
+		} else {
+			merged.Merge(snap)
+		}
+	}
+	if v, _ := merged.Get("faults.crashes"); int(v) != crashes {
+		t.Errorf("merged faults.crashes = %d, injected %d", v, crashes)
+	}
+	if v, ok := merged.Get("filter.received"); !ok || v <= 0 {
+		t.Errorf("merged filter.received = %d, want > 0", v)
+	}
+	if path := os.Getenv("DPM_STATS_OUT"); path != "" {
+		if err := os.WriteFile(path, merged.EncodeJSON(), 0o644); err != nil {
+			t.Errorf("DPM_STATS_OUT: %v", err)
+		}
+	}
+
+	// Controller shutdown kills the filter over the wire; the filter's
+	// deferred export then writes its machine's snapshot beside the
+	// logs, where post-mortem tooling (dpstat) can read it.
+	ctl.Exec("die")
+	ctl.Exec("die") // armed: active beacons still exist
+	waitFor(t, "filter stats export", func() bool {
+		data, err := yellow(t, s).FS().Read(filter.StatsPath("f"), fsys.Superuser)
+		if err != nil {
+			return false
+		}
+		snap, err := obs.ParseSnapshotJSON(data)
+		if err != nil {
+			return false
+		}
+		v, ok := snap.Get("filter.received")
+		return ok && v > 0
+	})
 }
 
 // yellow fetches the controller's machine, failing the test on error.

@@ -25,6 +25,11 @@ const Port = 551
 // ProgramName is the registry name of the meterdaemon program.
 const ProgramName = "dpm-meterdaemon"
 
+// StatsPath is where a meterdaemon exports its machine's metrics
+// snapshot (JSON) when it shuts down — beside the filter logs in
+// /usr/tmp, so a chaos soak's wreckage includes the numbers.
+const StatsPath = "/usr/tmp/meterdaemon.stats.json"
+
 // Install registers the daemon program with the cluster and starts a
 // meterdaemon (as root) on the given machine, returning once it is
 // listening. "There must be a meterdaemon on each machine that
@@ -98,6 +103,12 @@ func Main(p *kernel.Process) int {
 	d.gatewayName = gname
 	d.gfd = gfd
 
+	// End-of-run snapshot export: runs whether the Select loop returns
+	// on kill or the process unwinds from a deeper syscall, and writes
+	// through the machine FS directly (process syscalls are unusable
+	// mid-unwind).
+	defer p.Machine().ExportStats(StatsPath, 0)
+
 	for {
 		ready, err := p.Select([]int{lfd, gfd})
 		if err != nil {
@@ -167,6 +178,7 @@ func (d *daemonState) serveConn(conn int) {
 }
 
 func (d *daemonState) handle(w *WireMsg) *Reply {
+	d.p.Machine().Obs().Counter(reqCounterName(w.Type)).Inc()
 	switch w.Type {
 	case TCreateReq:
 		req, err := ParseCreateReq(w)
@@ -198,6 +210,11 @@ func (d *daemonState) handle(w *WireMsg) *Reply {
 			return &Reply{Type: TQueryRep, Status: err.Error()}
 		}
 		return d.handleQuery(req)
+	case TStatsReq:
+		if _, err := ParseStatsReq(w); err != nil {
+			return &Reply{Type: TStatsRep, Status: err.Error()}
+		}
+		return d.handleStats()
 	default:
 		return &Reply{Type: TCreateRep, Status: fmt.Sprintf("unknown request %v", w.Type)}
 	}
@@ -484,6 +501,18 @@ func (d *daemonState) handleQuery(req *QueryReq) *Reply {
 	return &Reply{Type: TQueryRep, Status: "ok", Data: b.String()}
 }
 
+// handleStats snapshots this machine's metrics registry and ships it
+// in the versioned binary snapshot format. Everything running on the
+// machine — kernel meter buffers, filters, stores, queries, and this
+// daemon's own request counters — shares the registry, so one reply
+// describes the whole node. The daemon never interprets the metrics;
+// merging and rendering are the controller's business.
+func (d *daemonState) handleStats() *Reply {
+	s := d.p.Machine().Obs().Snapshot()
+	s.Machine = d.p.Machine().Name()
+	return &Reply{Type: TStatsRep, Status: "ok", Data: string(s.MarshalBinary())}
+}
+
 // handleGateway dispatches datagrams arriving on the gateway socket:
 // kernel-injected child exit notes, or child standard output to be
 // forwarded to the controller.
@@ -569,8 +598,11 @@ func Exchange(p *kernel.Process, host string, req *WireMsg) (*Reply, error) {
 }
 
 // exchangeOnce is one connect/send/read/close round trip. A positive
-// timeout bounds the wait for the reply; zero waits forever.
+// timeout bounds the wait for the reply; zero waits forever. A
+// successful round trip lands its latency in the calling machine's
+// daemon.rtt.<type> histogram.
 func exchangeOnce(p *kernel.Process, host string, req *WireMsg, timeout time.Duration) (*Reply, error) {
+	start := time.Now()
 	hostID, _, err := p.Machine().Cluster().ResolveFrom(p.Machine(), host)
 	if err != nil {
 		return nil, err
@@ -595,6 +627,7 @@ func exchangeOnce(p *kernel.Process, host string, req *WireMsg, timeout time.Dur
 	if err != nil {
 		return nil, err
 	}
+	p.Machine().Obs().Histogram(rttHistName(req.Type)).Since(start)
 	return ParseReply(w), nil
 }
 

@@ -1,0 +1,47 @@
+package daemon
+
+// Per-message-type metric names, precomputed so request accounting
+// performs no string building per request. The daemon side counts
+// arrivals under daemon.req.<slug>; the controller side times round
+// trips under daemon.rtt.<slug>.
+
+var typeSlugs = map[MsgType]string{
+	TCreateReq:   "create",
+	TSetFlagsReq: "setflags",
+	TStartReq:    "start",
+	TStopReq:     "stop",
+	TKillReq:     "kill",
+	TAcquireReq:  "acquire",
+	TGetFileReq:  "getfile",
+	TReleaseReq:  "release",
+	TListReq:     "list",
+	TStdinReq:    "stdin",
+	TQueryReq:    "query",
+	TStatsReq:    "stats",
+}
+
+var (
+	reqCounterNames = make(map[MsgType]string, len(typeSlugs))
+	rttHistNames    = make(map[MsgType]string, len(typeSlugs))
+)
+
+func init() {
+	for t, slug := range typeSlugs {
+		reqCounterNames[t] = "daemon.req." + slug
+		rttHistNames[t] = "daemon.rtt." + slug
+	}
+}
+
+func reqCounterName(t MsgType) string {
+	if s, ok := reqCounterNames[t]; ok {
+		return s
+	}
+	return "daemon.req.unknown"
+}
+
+func rttHistName(t MsgType) string {
+	if s, ok := rttHistNames[t]; ok {
+		return s
+	}
+	return "daemon.rtt.unknown"
+}

@@ -72,10 +72,12 @@ func transientExchangeErr(err error) bool {
 // token (CreateReq.Token) for exactly this reason.
 func ExchangeRetry(p *kernel.Process, host string, req *WireMsg, rp RetryPolicy) (*Reply, error) {
 	rp = rp.withDefaults()
+	reg := p.Machine().Obs()
 	delay := rp.BaseDelay
 	var lastErr error
 	for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			reg.Counter("daemon.retries").Inc()
 			time.Sleep(delay + time.Duration(rand.Int63n(int64(delay))))
 			if delay *= 2; delay > rp.MaxDelay {
 				delay = rp.MaxDelay
@@ -90,6 +92,7 @@ func ExchangeRetry(p *kernel.Process, host string, req *WireMsg, rp RetryPolicy)
 			return nil, err
 		}
 	}
+	reg.Counter("daemon.exhausted").Inc()
 	return nil, fmt.Errorf("%w: %v to %s failed after %d attempts: %w",
 		ErrExhausted, req.Type, host, rp.MaxAttempts, lastErr)
 }

@@ -70,6 +70,13 @@ const (
 	// back — the opposite of getfile's ship-the-whole-log discipline.
 	TQueryReq MsgType = 33
 	TQueryRep MsgType = 34
+	// TStatsReq/TStatsRep fetch the machine's metrics registry — the
+	// monitor monitoring itself. The reply's Data carries a versioned
+	// binary obs.Snapshot (merge-able histograms), so the controller can
+	// aggregate the cluster's stats without the daemon knowing which
+	// metrics exist.
+	TStatsReq MsgType = 35
+	TStatsRep MsgType = 36
 )
 
 var typeNames = map[MsgType]string{
@@ -85,6 +92,7 @@ var typeNames = map[MsgType]string{
 	TListReq: "list request", TListRep: "list reply",
 	TStdinReq: "stdin request", TStdinRep: "stdin reply",
 	TQueryReq: "query request", TQueryRep: "query reply",
+	TStatsReq: "stats request", TStatsRep: "stats reply",
 }
 
 func (t MsgType) String() string {
@@ -363,6 +371,29 @@ func ParseQueryReq(w *WireMsg) (*QueryReq, error) {
 		NoPrune: w.str(3) == "1",
 		Workers: w.num(4),
 	}, nil
+}
+
+// StatsReq asks a daemon for a snapshot of its machine's metrics
+// registry. The reply's Data carries the obs binary snapshot format,
+// which is itself versioned and trailing-tolerant, so the wire message
+// needs no fields beyond the requester's uid.
+type StatsReq struct {
+	UID int
+}
+
+// Wire encodes the request.
+func (r *StatsReq) Wire() *WireMsg {
+	return &WireMsg{Type: TStatsReq, Fields: []string{strconv.Itoa(r.UID)}}
+}
+
+// ParseStatsReq decodes a stats request body. Extra trailing fields —
+// what a future controller might append, in the QueryReq-field-5
+// discipline — are ignored.
+func ParseStatsReq(w *WireMsg) (*StatsReq, error) {
+	if w.Type != TStatsReq {
+		return nil, fmt.Errorf("%w: not a stats request", ErrWireCorrupt)
+	}
+	return &StatsReq{UID: w.num(0)}, nil
 }
 
 // StateChange is the daemon-initiated notification that a process has

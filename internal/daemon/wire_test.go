@@ -144,6 +144,39 @@ func TestQueryReqRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStatsReqRoundTrip(t *testing.T) {
+	req := &StatsReq{UID: 42}
+	got, err := ParseStatsReq(req.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, req)
+	}
+	// A request from a newer peer may carry trailing fields this version
+	// does not know; they must be ignored, not rejected — the same
+	// discipline QueryReq applies to its optional Workers field.
+	future := req.Wire()
+	future.Fields = append(future.Fields, "some-future-field")
+	got, err = ParseStatsReq(future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UID != 42 {
+		t.Fatalf("future parse: %+v", got)
+	}
+	// The wrong message type is rejected; a malformed numeric field
+	// degrades to zero, the same lenient convention every other parser
+	// in this file follows.
+	if _, err := ParseStatsReq(&WireMsg{Type: TListReq, Fields: []string{"1"}}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	got, err = ParseStatsReq(&WireMsg{Type: TStatsReq, Fields: []string{"bogus"}})
+	if err != nil || got.UID != 0 {
+		t.Fatalf("malformed uid: got %+v, err %v", got, err)
+	}
+}
+
 func TestReplyRoundTrip(t *testing.T) {
 	rep := &Reply{Type: TGetFileRep, PID: 9, Status: "ok", Data: "file contents\nline 2"}
 	got := ParseReply(rep.Wire())

@@ -21,6 +21,11 @@ func LogPath(name string) string { return "/usr/tmp/" + name + ".log" }
 // form queries run against.
 func StorePath(name string) string { return "/usr/tmp/" + name + ".store" }
 
+// StatsPath returns the JSON metrics snapshot a filter of the given
+// name exports beside its log at shutdown — the forensic record a
+// chaos soak inspects after the fact.
+func StatsPath(name string) string { return "/usr/tmp/" + name + ".stats.json" }
+
 // DefaultDescriptionsPath and DefaultTemplatesPath are the standard
 // file names the controller falls back to ("standard filenames
 // ('templates' and 'descriptions') are used", section 4.3).
@@ -347,8 +352,11 @@ func Main(p *kernel.Process) int {
 	// The event store rides beside the flat log: same records, framed
 	// and indexed so queries can prune segments instead of shipping the
 	// whole log (internal/store). Opening recovers any segments a
-	// previous incarnation left unsealed.
-	st, err := store.Open(store.NewFsysBackend(p.Machine().FS(), p.UID(), StorePath(name)), store.Config{})
+	// previous incarnation left unsealed. Every subsystem of the filter
+	// hangs its metrics on the machine's registry, so one stats request
+	// to the local daemon sees the whole node.
+	reg := p.Machine().Obs()
+	st, err := store.Open(store.NewFsysBackend(p.Machine().FS(), p.UID(), StorePath(name)), store.Config{Obs: reg})
 	if err != nil {
 		p.Printf("filter: store: %v\n", err)
 		return 1
@@ -369,13 +377,18 @@ func Main(p *kernel.Process) int {
 	}
 
 	logPath := LogPath(name)
-	pipe := NewPipeline(eng, PipelineConfig{Workers: workers}, Sinks{
+	pipe := NewPipeline(eng, PipelineConfig{Workers: workers, Obs: reg}, Sinks{
 		Store: st,
 		Log:   func(lines []byte) error { return p.AppendFile(logPath, lines) },
 	}, p.Go)
 	// On kill the Accept below unwinds; draining the pipeline before
 	// the process finishes keeps shutdown orderly (no worker left
-	// blocked on a queue the cluster's shutdown would wait on).
+	// blocked on a queue the cluster's shutdown would wait on). The
+	// snapshot export runs after the drain so its counters are final,
+	// and writes through the machine's file system directly — process
+	// syscalls are unusable during a kill unwind, and the forensic
+	// record matters most when the filter died by fault injection.
+	defer p.Machine().ExportStats(StatsPath(name), p.UID())
 	defer pipe.Close()
 
 	for {

@@ -2,9 +2,11 @@ package filter
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"dpm/internal/obs"
 	"dpm/internal/store"
 )
 
@@ -38,6 +40,12 @@ type PipelineConfig struct {
 	// QueueDepth bounds each worker's input queue and the log writer's
 	// queue, in chunks/batches. Defaults to 16.
 	QueueDepth int
+	// Obs is the registry the pipeline's counters live in — on a real
+	// deployment the machine's registry, so a filter's metrics are
+	// queryable over the daemon wire. Nil gets a fresh private registry,
+	// which keeps Stats() per-pipeline in tests that run several
+	// pipelines side by side.
+	Obs *obs.Registry
 }
 
 // DefaultQueueDepth is the bounded-queue depth used when
@@ -90,10 +98,17 @@ type pipeItem struct {
 	data []byte
 }
 
-// pipeWorker is one processing goroutine's state.
+// pipeWorker is one processing goroutine's state. Its per-worker
+// counters (filter.worker<i>.*) expose skew between workers — a hot
+// source pins its records to one worker, and without the breakdown a
+// balanced-looking total can hide one saturated queue.
 type pipeWorker struct {
 	eng *Engine
 	in  chan pipeItem
+
+	received  *obs.Counter
+	kept      *obs.Counter
+	discarded *obs.Counter
 }
 
 // Pipeline is the bounded-parallelism ingest engine. Construct with
@@ -116,9 +131,24 @@ type Pipeline struct {
 	nextWorker atomic.Int64
 	logDead    atomic.Bool
 
-	sources, chunks, received, kept, discarded atomic.Int64
-	batches, feedStalls, logStalls, drops      atomic.Int64
-	streamErrors, sinkErrors, highWater        atomic.Int64
+	// All counters live in an obs registry (cfg.Obs or a private one);
+	// the handles are resolved once here, never on the hot path. The
+	// former bespoke atomics are these counters now — Stats() is a view.
+	obs          *obs.Registry
+	sources      *obs.Counter
+	chunks       *obs.Counter
+	received     *obs.Counter
+	kept         *obs.Counter
+	discarded    *obs.Counter
+	batches      *obs.Counter
+	feedStalls   *obs.Counter
+	logStalls    *obs.Counter
+	drops        *obs.Counter
+	streamErrors *obs.Counter
+	sinkErrors   *obs.Counter
+	queueDepth   *obs.Gauge
+	highWater    *obs.Gauge
+	flushNS      *obs.Histogram
 }
 
 // NewPipeline builds a pipeline around an engine prototype: each
@@ -132,15 +162,42 @@ func NewPipeline(proto *Engine, cfg PipelineConfig, sinks Sinks, spawn func(func
 	if spawn == nil {
 		spawn = func(fn func()) { go fn() }
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	pl := &Pipeline{
 		cfg:   cfg,
 		sinks: sinks,
 		logQ:  make(chan *Batch, cfg.QueueDepth),
 		quit:  make(chan struct{}),
+
+		obs:          reg,
+		sources:      reg.Counter("filter.sources"),
+		chunks:       reg.Counter("filter.chunks"),
+		received:     reg.Counter("filter.received"),
+		kept:         reg.Counter("filter.kept"),
+		discarded:    reg.Counter("filter.discarded"),
+		batches:      reg.Counter("filter.batches"),
+		feedStalls:   reg.Counter("filter.feed_stalls"),
+		logStalls:    reg.Counter("filter.log_stalls"),
+		drops:        reg.Counter("filter.drops"),
+		streamErrors: reg.Counter("filter.stream_errors"),
+		sinkErrors:   reg.Counter("filter.sink_errors"),
+		queueDepth:   reg.Gauge("filter.queue_depth"),
+		highWater:    reg.Gauge("filter.queue_high_water"),
+		flushNS:      reg.Histogram("filter.flush_ns"),
 	}
 	pl.batchPool.New = func() any { return new(Batch) }
 	for i := 0; i < cfg.Workers; i++ {
-		w := &pipeWorker{eng: proto.Clone(), in: make(chan pipeItem, cfg.QueueDepth)}
+		prefix := "filter.worker" + strconv.Itoa(i)
+		w := &pipeWorker{
+			eng:       proto.Clone(),
+			in:        make(chan pipeItem, cfg.QueueDepth),
+			received:  reg.Counter(prefix + ".received"),
+			kept:      reg.Counter(prefix + ".kept"),
+			discarded: reg.Counter(prefix + ".discarded"),
+		}
 		pl.workers = append(pl.workers, w)
 		pl.wg.Add(1)
 		spawn(func() { pl.runWorker(w) })
@@ -171,7 +228,7 @@ type Source struct {
 // NewSource attaches a new source, assigning it to a worker
 // round-robin.
 func (pl *Pipeline) NewSource() *Source {
-	pl.sources.Add(1)
+	pl.sources.Inc()
 	n := pl.nextWorker.Add(1) - 1
 	return &Source{pl: pl, w: pl.workers[int(n)%len(pl.workers)]}
 }
@@ -188,7 +245,7 @@ func (s *Source) Feed(data []byte) bool {
 	pl := s.pl
 	select {
 	case <-pl.quit:
-		pl.drops.Add(1)
+		pl.drops.Inc()
 		return false
 	default:
 	}
@@ -196,27 +253,24 @@ func (s *Source) Feed(data []byte) bool {
 	select {
 	case s.w.in <- it:
 	default:
-		pl.feedStalls.Add(1)
+		pl.feedStalls.Inc()
 		select {
 		case s.w.in <- it:
 		case <-pl.quit:
-			pl.drops.Add(1)
+			pl.drops.Inc()
 			return false
 		}
 	}
-	pl.chunks.Add(1)
+	pl.chunks.Inc()
 	pl.noteDepth(int64(len(s.w.in)))
 	return true
 }
 
-// noteDepth folds an observed queue depth into the high-water mark.
+// noteDepth records an observed queue depth: the instantaneous gauge
+// and the high-water mark.
 func (pl *Pipeline) noteDepth(d int64) {
-	for {
-		hw := pl.highWater.Load()
-		if d <= hw || pl.highWater.CompareAndSwap(hw, d) {
-			return
-		}
-	}
+	pl.queueDepth.Set(d)
+	pl.highWater.SetMax(d)
 }
 
 // runWorker drains the worker's queue. After quit, remaining queued
@@ -257,15 +311,21 @@ func (pl *Pipeline) process(w *pipeWorker, it pipeItem) {
 	b.Reset()
 	recvBefore, keptBefore, discBefore := w.eng.Received, w.eng.Kept, w.eng.Discarded
 	rest, err := w.eng.ProcessBatch(buf, b)
-	pl.received.Add(int64(w.eng.Received - recvBefore))
-	pl.kept.Add(int64(w.eng.Kept - keptBefore))
-	pl.discarded.Add(int64(w.eng.Discarded - discBefore))
+	recv := int64(w.eng.Received - recvBefore)
+	kept := int64(w.eng.Kept - keptBefore)
+	disc := int64(w.eng.Discarded - discBefore)
+	pl.received.Add(recv)
+	pl.kept.Add(kept)
+	pl.discarded.Add(disc)
+	w.received.Add(recv)
+	w.kept.Add(kept)
+	w.discarded.Add(disc)
 	if err != nil {
 		// A corrupt stream kills the source, exactly as the sequential
 		// loop closed the connection; later chunks from it are ignored.
 		s.dead = true
 		s.carry = nil
-		pl.streamErrors.Add(1)
+		pl.streamErrors.Inc()
 		pl.putBatch(b)
 		return
 	}
@@ -276,24 +336,29 @@ func (pl *Pipeline) process(w *pipeWorker, it pipeItem) {
 		pl.putBatch(b)
 		return
 	}
-	pl.batches.Add(1)
+	pl.batches.Inc()
 	// Store first, then log: the store must never hold fewer records
-	// than the flat log.
+	// than the flat log. The flush span covers the store append and the
+	// log handoff — the full time a worker is occupied delivering one
+	// batch downstream.
+	flush := obs.StartSpan(pl.flushNS)
 	if pl.sinks.Store != nil {
 		if err := pl.sinks.Store.AppendBatch(b.StoreRecs()); err != nil {
-			pl.sinkErrors.Add(1)
+			pl.sinkErrors.Inc()
 		}
 	}
 	if pl.sinks.Log != nil {
 		select {
 		case pl.logQ <- b:
 		default:
-			pl.logStalls.Add(1)
+			pl.logStalls.Inc()
 			pl.logQ <- b
 		}
 		pl.noteDepth(int64(len(pl.logQ)))
+		flush.End()
 		return
 	}
+	flush.End()
 	pl.putBatch(b)
 }
 
@@ -314,7 +379,7 @@ func (pl *Pipeline) runLogWriter() {
 func (pl *Pipeline) writeLog(b *Batch) {
 	defer pl.putBatch(b)
 	if pl.logDead.Load() {
-		pl.drops.Add(1)
+		pl.drops.Inc()
 		return
 	}
 	defer func() {
@@ -323,7 +388,7 @@ func (pl *Pipeline) writeLog(b *Batch) {
 		}
 	}()
 	if err := pl.sinks.Log(b.Lines); err != nil {
-		pl.sinkErrors.Add(1)
+		pl.sinkErrors.Inc()
 	}
 }
 
@@ -347,7 +412,13 @@ func (pl *Pipeline) Close() {
 	})
 }
 
-// Stats returns a snapshot of the pipeline's counters.
+// Obs returns the registry the pipeline's counters live in — cfg.Obs,
+// or the private registry created when cfg.Obs was nil.
+func (pl *Pipeline) Obs() *obs.Registry { return pl.obs }
+
+// Stats returns a snapshot of the pipeline's counters — a thin view
+// over the obs registry, kept for the callers and tests that predate
+// it.
 func (pl *Pipeline) Stats() PipelineStats {
 	st := PipelineStats{
 		Workers:        len(pl.workers),

@@ -3,12 +3,12 @@ package kernel
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dpm/internal/clock"
 	"dpm/internal/fsys"
 	"dpm/internal/netsim"
+	"dpm/internal/obs"
 )
 
 // Config carries cluster-wide simulation parameters.
@@ -46,12 +46,6 @@ type Cluster struct {
 	hostToM  map[uint32]*Machine
 	hostNet  map[uint32]string // host id -> network it is an address on
 	nextHost uint32
-
-	// Fault accounting; see FaultStats.
-	crashes       atomic.Int64
-	restarts      atomic.Int64
-	meterDisabled atomic.Int64
-	meterDrops    atomic.Int64
 
 	wg sync.WaitGroup // all process goroutines across all machines
 }
@@ -114,12 +108,15 @@ func (c *Cluster) AddMachine(name string, clk *clock.MachineClock, networks ...s
 	if _, ok := c.machines[name]; ok {
 		return nil, fmt.Errorf("kernel: machine %q already exists", name)
 	}
+	reg := obs.NewRegistry()
 	m := &Machine{
 		name:      name,
 		id:        uint16(len(c.byID) + 1),
 		cluster:   c,
 		clock:     clk,
 		fs:        fsys.New(),
+		obs:       reg,
+		faults:    newMachineFaults(reg),
 		procs:     make(map[int]*Process),
 		accounts:  make(map[int]string),
 		hostIDs:   make(map[string]uint32),

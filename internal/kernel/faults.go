@@ -24,14 +24,22 @@ type FaultStats struct {
 	MeterDrops int64
 }
 
-// FaultStats returns the current fault counters.
+// FaultStats returns the current fault counters. Since the obs
+// migration each fault is counted on the machine where it happened
+// (the faults.* counters in that machine's registry); this remains the
+// cluster-wide view, summing across machines.
 func (c *Cluster) FaultStats() FaultStats {
-	return FaultStats{
-		Crashes:       c.crashes.Load(),
-		Restarts:      c.restarts.Load(),
-		MeterDisabled: c.meterDisabled.Load(),
-		MeterDrops:    c.meterDrops.Load(),
+	c.mu.Lock()
+	machines := append([]*Machine(nil), c.byID...)
+	c.mu.Unlock()
+	var fs FaultStats
+	for _, m := range machines {
+		fs.Crashes += m.faults.crashes.Load()
+		fs.Restarts += m.faults.restarts.Load()
+		fs.MeterDisabled += m.faults.meterDisabled.Load()
+		fs.MeterDrops += m.faults.meterDrops.Load()
 	}
+	return fs
 }
 
 // CrashMachine simulates the machine losing power: every process on it
@@ -52,7 +60,7 @@ func (c *Cluster) CrashMachine(name string) error {
 		return fmt.Errorf("%w: %s already crashed", ErrMachineDown, name)
 	}
 	m.setDown(true)
-	c.crashes.Add(1)
+	m.faults.crashes.Inc()
 
 	// Kill everything. Detached processes (driven by an external
 	// caller, no goroutine) are finished here directly; goroutine
@@ -110,7 +118,7 @@ func (c *Cluster) RestartMachine(name string) (*Machine, error) {
 		}
 	}
 	m.setDown(false)
-	c.restarts.Add(1)
+	m.faults.restarts.Inc()
 	return m, nil
 }
 

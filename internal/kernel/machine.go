@@ -9,6 +9,7 @@ import (
 	"dpm/internal/fsys"
 	"dpm/internal/meter"
 	"dpm/internal/netsim"
+	"dpm/internal/obs"
 )
 
 // portKey indexes the per-machine binding table: stream and datagram
@@ -29,6 +30,14 @@ type Machine struct {
 	clock   *clock.MachineClock
 	fs      *fsys.FS
 
+	// obs is the machine's metrics registry. It is created once in
+	// AddMachine and survives crash/restart — fault counters would be
+	// useless if the fault erased them. Every subsystem running on the
+	// machine (meter buffers, filters, daemons, stores, queries) hangs
+	// its metrics here, so one TStatsReq answers for the whole node.
+	obs    *obs.Registry
+	faults machineFaults
+
 	faultMu sync.Mutex // serializes crash/restart transitions
 
 	mu         sync.Mutex
@@ -47,6 +56,25 @@ type Machine struct {
 	wg *sync.WaitGroup // cluster-wide process goroutine tracking
 }
 
+// machineFaults holds the machine's fault counters, resolved once at
+// machine creation so the accounting paths never take the registry
+// lock. Cluster.FaultStats sums them across machines.
+type machineFaults struct {
+	crashes       *obs.Counter
+	restarts      *obs.Counter
+	meterDisabled *obs.Counter
+	meterDrops    *obs.Counter
+}
+
+func newMachineFaults(r *obs.Registry) machineFaults {
+	return machineFaults{
+		crashes:       r.Counter("faults.crashes"),
+		restarts:      r.Counter("faults.restarts"),
+		meterDisabled: r.Counter("faults.meter_disabled"),
+		meterDrops:    r.Counter("faults.meter_drops"),
+	}
+}
+
 // Name returns the machine's host name.
 func (m *Machine) Name() string { return m.name }
 
@@ -58,6 +86,20 @@ func (m *Machine) Clock() *clock.MachineClock { return m.clock }
 
 // FS returns the machine's file system.
 func (m *Machine) FS() *fsys.FS { return m.fs }
+
+// Obs returns the machine's metrics registry.
+func (m *Machine) Obs() *obs.Registry { return m.obs }
+
+// ExportStats writes a JSON snapshot of the machine's registry to a
+// file owned by uid, replacing any previous export. It writes through
+// the file system directly rather than a process syscall, so shutdown
+// paths can call it while their process is unwinding from a kill —
+// which is exactly when a chaos soak wants the forensic record.
+func (m *Machine) ExportStats(path string, uid int) error {
+	s := m.obs.Snapshot()
+	s.Machine = m.name
+	return m.fs.Create(path, uid, fsys.DefaultMode, s.EncodeJSON())
+}
 
 // Cluster returns the cluster the machine belongs to.
 func (m *Machine) Cluster() *Cluster { return m.cluster }

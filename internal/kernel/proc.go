@@ -388,9 +388,8 @@ func (p *Process) disableMetering(sock *Socket, buf *meter.Buffer) {
 	p.meterFlags = 0
 	p.mu.Unlock()
 	sock.unref()
-	c := p.machine.cluster
-	c.meterDisabled.Add(1)
-	c.meterDrops.Add(int64(buf.Pending()) + 1)
+	p.machine.faults.meterDisabled.Inc()
+	p.machine.faults.meterDrops.Add(int64(buf.Pending()) + 1)
 }
 
 // fd returns the entry at descriptor fd.

@@ -33,16 +33,19 @@ func (m *Machine) newMeterBuffer(sock *Socket) *meter.Buffer {
 	if count == 0 {
 		count = meter.DefaultBufferCount
 	}
-	return meter.NewBuffer(count, func(batch []byte) {
+	b := meter.NewBuffer(count, func(batch []byte) {
 		if sock.kernelSend(batch) {
 			return
 		}
 		if msgs, _, err := meter.DecodeStream(batch); err == nil && len(msgs) > 0 {
-			m.cluster.meterDrops.Add(int64(len(msgs)))
+			m.faults.meterDrops.Add(int64(len(msgs)))
 		} else {
-			m.cluster.meterDrops.Add(1)
+			m.faults.meterDrops.Add(1)
 		}
 	})
+	b.SetObs(m.obs.Counter("meter.events"), m.obs.Counter("meter.flushes"),
+		m.obs.Counter("meter.flush_bytes"))
+	return b
 }
 
 // Setmeter marks a process for metering (the system call the paper

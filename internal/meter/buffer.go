@@ -1,6 +1,10 @@
 package meter
 
-import "sync"
+import (
+	"sync"
+
+	"dpm/internal/obs"
+)
 
 // DefaultBufferCount is how many meter messages the kernel accumulates
 // before sending them together to the filter. The paper does not give
@@ -40,6 +44,22 @@ type Buffer struct {
 	count int
 	stats Stats
 	send  func([]byte)
+
+	// Optional obs mirrors of the stats fields; nil until SetObs. The
+	// kernel points every buffer on a machine at that machine's shared
+	// meter.* counters, so per-process buffers aggregate per machine.
+	obsEvents  *obs.Counter
+	obsFlushes *obs.Counter
+	obsBytes   *obs.Counter
+}
+
+// SetObs mirrors the buffer's counters into obs counters (typically a
+// machine registry's meter.events / meter.flushes / meter.flush_bytes).
+// Any may be nil. Call before the buffer is in use.
+func (b *Buffer) SetObs(events, flushes, bytes *obs.Counter) {
+	b.mu.Lock()
+	b.obsEvents, b.obsFlushes, b.obsBytes = events, flushes, bytes
+	b.mu.Unlock()
 }
 
 // NewBuffer returns a buffer that delivers batches through send (a
@@ -63,6 +83,9 @@ func (b *Buffer) Add(m *Msg, immediate bool) {
 	b.pending = m.AppendEncode(b.pending)
 	b.count++
 	b.stats.Events++
+	if b.obsEvents != nil {
+		b.obsEvents.Inc()
+	}
 	var batch []byte
 	if immediate || b.count >= b.threshold {
 		batch = b.take()
@@ -97,6 +120,12 @@ func (b *Buffer) take() []byte {
 	b.count = 0
 	b.stats.Flushes++
 	b.stats.Bytes += int64(len(batch))
+	if b.obsFlushes != nil {
+		b.obsFlushes.Inc()
+	}
+	if b.obsBytes != nil {
+		b.obsBytes.Add(int64(len(batch)))
+	}
 	return batch
 }
 

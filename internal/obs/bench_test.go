@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The record-path costs quoted in docs/observability.md come from
+// these benchmarks. All three paths are a single atomic RMW (plus a
+// bits.Len64 for the histogram bucket); none allocates — the
+// AllocsPerRun gates in obs_test.go enforce that separately.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkGaugeSetMax(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.SetMax(int64(i & 1023))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkSpan(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(&h)
+		sp.End()
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for _, n := range []string{"a.one", "a.two", "b.one", "b.two"} {
+		r.Counter(n).Add(7)
+		r.Histogram("h." + n).Observe(int64(len(n)) * int64(time.Microsecond))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

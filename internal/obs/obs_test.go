@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The record paths are the whole point of this package: a counter add,
+// a gauge set, and a histogram observe must not touch the heap, or the
+// filter hot path cannot afford them. These gates are the acceptance
+// criterion for the instrumentation layer.
+
+func TestRecordPathsZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.counter")
+	g := r.Gauge("test.gauge")
+	h := r.Histogram("test.hist")
+
+	if n := testing.AllocsPerRun(200, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { g.Set(42) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { g.SetMax(7) }); n != 0 {
+		t.Fatalf("Gauge.SetMax allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { h.Observe(12345) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		s := StartSpan(h)
+		s.End()
+	}); n != 0 {
+		t.Fatalf("Span start/end allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		var s Span // optional histogram absent: still free
+		s.End()
+	}); n != 0 {
+		t.Fatalf("nil Span.End allocates %v per op, want 0", n)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(5)
+	c.Inc()
+	if got := c.Load(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("get-or-create returned a different counter pointer")
+	}
+
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.SetMax(5)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("SetMax lowered gauge to %d", got)
+	}
+	g.SetMax(20)
+	if got := g.Load(); got != 20 {
+		t.Fatalf("SetMax(20) left gauge at %d", got)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+		{int64(^uint64(0) >> 1), NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 90 fast observations around 1000ns, 10 slow around 1ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	hv := r.Snapshot().Hist("lat")
+	if hv == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hv.Count != 100 {
+		t.Fatalf("count = %d, want 100", hv.Count)
+	}
+	// p50 must land in the 1000ns bucket: upper bound 2^11-1 = 2047.
+	if p50 := hv.Quantile(0.50); p50 < 1000 || p50 > 2047 {
+		t.Fatalf("p50 = %d, want within [1000, 2047]", p50)
+	}
+	// p99 must land in the 1ms bucket: 2^20-1 = 1048575.
+	if p99 := hv.Quantile(0.99); p99 < 1_000_000 || p99 > 1_048_575 {
+		t.Fatalf("p99 = %d, want within [1000000, 1048575]", p99)
+	}
+	if m := hv.Mean(); m < 100_000 || m > 110_000 {
+		t.Fatalf("mean = %d, want ~100900", m)
+	}
+}
+
+func TestHistogramSince(t *testing.T) {
+	var h Histogram
+	h.Since(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.sum.Load() < int64(time.Millisecond) {
+		t.Fatalf("sum = %d, want >= 1ms", h.sum.Load())
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Counter("a.first").Add(2)
+	r.Gauge("depth").Set(4)
+	r.Histogram("h").Observe(100)
+
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.first" || s.Counters[1].Name != "z.last" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if v, ok := s.Get("depth"); !ok || v != 4 {
+		t.Fatalf("Get(depth) = %d, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) reported present")
+	}
+	if s.TakenUnixNano == 0 {
+		t.Fatal("snapshot has no timestamp")
+	}
+}

@@ -1,0 +1,421 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Snapshot is a point-in-time capture of one registry — the portable
+// form of a machine's metrics. It travels over the daemon wire (binary,
+// MarshalBinary/ParseSnapshot), lands in forensic files (JSON), and
+// merges with snapshots of other machines for cluster-wide reports.
+type Snapshot struct {
+	// Machine labels the node the snapshot came from; empty on merged
+	// snapshots spanning several machines.
+	Machine string `json:"machine,omitempty"`
+	// TakenUnixNano is when the snapshot was captured (wall clock of
+	// the capturing process); a merge keeps the latest.
+	TakenUnixNano int64        `json:"taken_unix_nano,omitempty"`
+	Counters      []NamedValue `json:"counters"`
+	Gauges        []NamedValue `json:"gauges"`
+	Hists         []HistValue  `json:"histograms"`
+}
+
+// NamedValue is one counter or gauge reading.
+type NamedValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketCount is one non-empty histogram bucket: observations v with
+// bitlen(v) == Bucket (see NumBuckets).
+type BucketCount struct {
+	Bucket uint8 `json:"bucket"`
+	Count  int64 `json:"count"`
+}
+
+// HistValue is one histogram's distribution, buckets stored sparsely
+// in ascending bucket order.
+type HistValue struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Quantile returns an upper bound for the q'th quantile (0 < q <= 1)
+// of the distribution: the top of the log bucket the quantile falls
+// in, so the true value is within a factor of two below the returned
+// one. The rank is nearest-rank (ceiling), so p99 of a handful of
+// observations reads the maximum rather than undershooting it.
+// Returns 0 for an empty histogram.
+func (h *HistValue) Quantile(q float64) int64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			if b.Bucket == 0 {
+				return 0
+			}
+			if int(b.Bucket) >= NumBuckets-1 {
+				return int64(^uint64(0) >> 1)
+			}
+			return (int64(1) << b.Bucket) - 1
+		}
+	}
+	return 0
+}
+
+// Mean returns the average observation, 0 when empty.
+func (h *HistValue) Mean() int64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// Merge folds other into s: counters and gauges sum by name (a merged
+// gauge is the cluster total of the level), histograms add bucket-wise
+// — the associative, commutative combination that lets the controller
+// fold per-machine snapshots in any order. Names absent on one side
+// carry over unchanged. The result keeps sorted name order.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil {
+		return
+	}
+	if other.TakenUnixNano > s.TakenUnixNano {
+		s.TakenUnixNano = other.TakenUnixNano
+	}
+	if s.Machine != other.Machine {
+		s.Machine = ""
+	}
+	s.Counters = mergeValues(s.Counters, other.Counters)
+	s.Gauges = mergeValues(s.Gauges, other.Gauges)
+	s.Hists = mergeHists(s.Hists, other.Hists)
+}
+
+func mergeValues(a, b []NamedValue) []NamedValue {
+	byName := make(map[string]int64, len(a)+len(b))
+	for _, v := range a {
+		byName[v.Name] += v.Value
+	}
+	for _, v := range b {
+		byName[v.Name] += v.Value
+	}
+	out := make([]NamedValue, 0, len(byName))
+	for name, v := range byName {
+		out = append(out, NamedValue{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func mergeHists(a, b []HistValue) []HistValue {
+	byName := make(map[string]*HistValue, len(a)+len(b))
+	fold := func(h HistValue) {
+		dst, ok := byName[h.Name]
+		if !ok {
+			cp := HistValue{Name: h.Name, Count: h.Count, Sum: h.Sum}
+			cp.Buckets = append(cp.Buckets, h.Buckets...)
+			byName[h.Name] = &cp
+			return
+		}
+		dst.Count += h.Count
+		dst.Sum += h.Sum
+		counts := make(map[uint8]int64, len(dst.Buckets)+len(h.Buckets))
+		for _, bc := range dst.Buckets {
+			counts[bc.Bucket] += bc.Count
+		}
+		for _, bc := range h.Buckets {
+			counts[bc.Bucket] += bc.Count
+		}
+		dst.Buckets = dst.Buckets[:0]
+		for bucket, n := range counts {
+			dst.Buckets = append(dst.Buckets, BucketCount{Bucket: bucket, Count: n})
+		}
+		sort.Slice(dst.Buckets, func(i, j int) bool { return dst.Buckets[i].Bucket < dst.Buckets[j].Bucket })
+	}
+	for _, h := range a {
+		fold(h)
+	}
+	for _, h := range b {
+		fold(h)
+	}
+	out := make([]HistValue, 0, len(byName))
+	for _, h := range byName {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Binary snapshot format, version 1. Little-endian throughout:
+//
+//	"DPOB" magic, u16 version,
+//	string machine, i64 takenUnixNano,
+//	u32 n counters × (string name, i64 value),
+//	u32 n gauges   × (string name, i64 value),
+//	u32 n hists    × (string name, i64 count, i64 sum,
+//	                  u16 n pairs × (u8 bucket, i64 count)).
+//
+// Strings are u16-length-prefixed. A parser ignores any bytes after
+// the sections it knows, and accepts versions above its own by reading
+// the version-1 prefix — future versions extend by appending, the same
+// trailing-field discipline as the daemon's wire bodies.
+
+// SnapshotVersion is the binary format version this package writes.
+const SnapshotVersion = 1
+
+var snapshotMagic = [4]byte{'D', 'P', 'O', 'B'}
+
+// ErrSnapshotCorrupt reports undecodable snapshot bytes.
+var ErrSnapshotCorrupt = errors.New("obs: corrupt snapshot")
+
+// maxSnapshotEntries bounds each section against corrupt counts.
+const maxSnapshotEntries = 1 << 20
+
+// MarshalBinary encodes the snapshot in the versioned binary format.
+func (s *Snapshot) MarshalBinary() []byte {
+	le := binary.LittleEndian
+	b := make([]byte, 0, 256)
+	b = append(b, snapshotMagic[:]...)
+	b = le.AppendUint16(b, SnapshotVersion)
+	b = appendString(b, s.Machine)
+	b = le.AppendUint64(b, uint64(s.TakenUnixNano))
+	b = le.AppendUint32(b, uint32(len(s.Counters)))
+	for _, v := range s.Counters {
+		b = appendString(b, v.Name)
+		b = le.AppendUint64(b, uint64(v.Value))
+	}
+	b = le.AppendUint32(b, uint32(len(s.Gauges)))
+	for _, v := range s.Gauges {
+		b = appendString(b, v.Name)
+		b = le.AppendUint64(b, uint64(v.Value))
+	}
+	b = le.AppendUint32(b, uint32(len(s.Hists)))
+	for _, h := range s.Hists {
+		b = appendString(b, h.Name)
+		b = le.AppendUint64(b, uint64(h.Count))
+		b = le.AppendUint64(b, uint64(h.Sum))
+		b = le.AppendUint16(b, uint16(len(h.Buckets)))
+		for _, bc := range h.Buckets {
+			b = append(b, bc.Bucket)
+			b = le.AppendUint64(b, uint64(bc.Count))
+		}
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// reader is a bounds-checked cursor over snapshot bytes.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("%w: truncated at byte %d", ErrSnapshotCorrupt, r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	return string(r.take(n))
+}
+
+// ParseSnapshot decodes a binary snapshot. Trailing bytes beyond the
+// known sections are ignored, and versions newer than SnapshotVersion
+// are accepted by their version-1 prefix, so old readers keep working
+// against extended writers.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	r := &reader{b: data}
+	magic := r.take(4)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if [4]byte(magic) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	if v := r.u16(); v < 1 {
+		return nil, fmt.Errorf("%w: version %d", ErrSnapshotCorrupt, v)
+	}
+	s := &Snapshot{}
+	s.Machine = r.str()
+	s.TakenUnixNano = r.i64()
+	nc := r.u32()
+	if nc > maxSnapshotEntries {
+		return nil, fmt.Errorf("%w: %d counters", ErrSnapshotCorrupt, nc)
+	}
+	for i := uint32(0); i < nc && r.err == nil; i++ {
+		s.Counters = append(s.Counters, NamedValue{Name: r.str(), Value: r.i64()})
+	}
+	ng := r.u32()
+	if ng > maxSnapshotEntries {
+		return nil, fmt.Errorf("%w: %d gauges", ErrSnapshotCorrupt, ng)
+	}
+	for i := uint32(0); i < ng && r.err == nil; i++ {
+		s.Gauges = append(s.Gauges, NamedValue{Name: r.str(), Value: r.i64()})
+	}
+	nh := r.u32()
+	if nh > maxSnapshotEntries {
+		return nil, fmt.Errorf("%w: %d histograms", ErrSnapshotCorrupt, nh)
+	}
+	for i := uint32(0); i < nh && r.err == nil; i++ {
+		h := HistValue{Name: r.str(), Count: r.i64(), Sum: r.i64()}
+		np := int(r.u16())
+		for j := 0; j < np && r.err == nil; j++ {
+			h.Buckets = append(h.Buckets, BucketCount{Bucket: r.u8(), Count: r.i64()})
+		}
+		s.Hists = append(s.Hists, h)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}
+
+// MarshalJSON output is the forensic-file form (cmd/dpstat reads it);
+// the default encoding of the exported struct is already what we want,
+// so Snapshot has no custom JSON methods. EncodeJSON writes it with a
+// trailing newline, the shape shutdown exports use.
+func (s *Snapshot) EncodeJSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// A Snapshot of plain integers and strings cannot fail to
+		// encode; keep the signature convenient.
+		return []byte("{}")
+	}
+	return append(b, '\n')
+}
+
+// ParseSnapshotJSON decodes the forensic-file form.
+func ParseSnapshotJSON(data []byte) (*Snapshot, error) {
+	s := &Snapshot{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	return s, nil
+}
+
+// Render writes the snapshot as a readable report: counters and gauges
+// one per line, histograms with count, mean and p50/p95/p99 rendered
+// as durations (histograms hold nanoseconds by convention).
+func (s *Snapshot) Render(w io.Writer) {
+	if s.Machine != "" {
+		fmt.Fprintf(w, "machine %s\n", s.Machine)
+	}
+	if s.TakenUnixNano != 0 {
+		fmt.Fprintf(w, "taken %s\n", time.Unix(0, s.TakenUnixNano).UTC().Format(time.RFC3339))
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(w, "counters:\n")
+		for _, v := range s.Counters {
+			fmt.Fprintf(w, "  %-40s %12d\n", v.Name, v.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(w, "gauges:\n")
+		for _, v := range s.Gauges {
+			fmt.Fprintf(w, "  %-40s %12d\n", v.Name, v.Value)
+		}
+	}
+	if len(s.Hists) > 0 {
+		fmt.Fprintf(w, "histograms:%31s %12s %10s %10s %10s %10s\n", "", "count", "mean", "p50", "p95", "p99")
+		for i := range s.Hists {
+			h := &s.Hists[i]
+			fmt.Fprintf(w, "  %-40s %12d %10v %10v %10v %10v\n",
+				h.Name, h.Count,
+				time.Duration(h.Mean()).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.95)).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
+		}
+	}
+}
+
+// Get returns the named counter or gauge value and whether it exists —
+// the lookup assertions and tools use.
+func (s *Snapshot) Get(name string) (int64, bool) {
+	for _, v := range s.Counters {
+		if v.Name == name {
+			return v.Value, true
+		}
+	}
+	for _, v := range s.Gauges {
+		if v.Name == name {
+			return v.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Hist returns the named histogram, nil when absent.
+func (s *Snapshot) Hist(name string) *HistValue {
+	for i := range s.Hists {
+		if s.Hists[i].Name == name {
+			return &s.Hists[i]
+		}
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 
 	"dpm/internal/filter"
 	"dpm/internal/meter"
+	"dpm/internal/obs"
 	"dpm/internal/store"
 	"dpm/internal/trace"
 )
@@ -42,6 +43,10 @@ type Query struct {
 	// worker pool of that size (see parallel.go). Output is identical
 	// either way.
 	Workers int
+	// Obs, when set, receives the query.* counters and the query.run_ns
+	// latency of each Run — on a daemon-executed query the filter
+	// machine's registry.
+	Obs *obs.Registry
 
 	bounds   []bounds
 	discards []map[string]bool
@@ -448,6 +453,26 @@ func (it *Iter) Stats() Stats { return it.stats }
 // statistics. With q.Workers > 1 the segment scans run on a worker
 // pool; results are identical to the sequential path, byte for byte.
 func Run(rd *store.Reader, q *Query) (*Result, error) {
+	var span obs.Span
+	if q.Obs != nil {
+		span = obs.StartSpan(q.Obs.Histogram("query.run_ns"))
+	}
+	res, err := runQuery(rd, q)
+	if err != nil || q.Obs == nil {
+		return res, err
+	}
+	span.End()
+	q.Obs.Counter("query.runs").Inc()
+	q.Obs.Counter("query.segments").Add(int64(res.Stats.Segments))
+	q.Obs.Counter("query.scanned").Add(int64(res.Stats.Scanned))
+	q.Obs.Counter("query.pruned").Add(int64(res.Stats.Pruned))
+	q.Obs.Counter("query.records").Add(int64(res.Stats.Records))
+	q.Obs.Counter("query.matched").Add(int64(res.Stats.Matched))
+	q.Obs.Counter("query.bad_lines").Add(int64(res.Stats.BadLines))
+	return res, nil
+}
+
+func runQuery(rd *store.Reader, q *Query) (*Result, error) {
 	if q.Workers > 1 {
 		return runParallel(rd, q, q.Workers)
 	}

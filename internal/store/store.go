@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"dpm/internal/obs"
 )
 
 // Config tunes a store. The zero value selects the defaults.
@@ -20,6 +22,9 @@ type Config struct {
 	// CompactMin is the number of adjacent small sealed segments (under
 	// half of SegmentCap) that triggers compaction into one.
 	CompactMin int
+	// Obs is the registry the store's counters and latency histograms
+	// live in (store.*); nil gets a private registry.
+	Obs *obs.Registry
 }
 
 // Default configuration values.
@@ -92,6 +97,17 @@ type Store struct {
 
 	statsMu sync.Mutex
 	stats   Stats
+
+	// obs handles, resolved once in Open. The Stats struct above stays
+	// the legacy view; these mirror it into the machine registry plus
+	// the latencies the struct cannot carry.
+	obsAppends     *obs.Counter
+	obsRotations   *obs.Counter
+	obsCompactions *obs.Counter
+	obsRecovered   *obs.Counter
+	appendNS       *obs.Histogram
+	rotateNS       *obs.Histogram
+	compactNS      *obs.Histogram
 }
 
 type shard struct {
@@ -119,7 +135,20 @@ func Open(be Backend, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{be: be, cfg: cfg}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Store{
+		be: be, cfg: cfg,
+		obsAppends:     reg.Counter("store.appends"),
+		obsRotations:   reg.Counter("store.rotations"),
+		obsCompactions: reg.Counter("store.compactions"),
+		obsRecovered:   reg.Counter("store.recovered"),
+		appendNS:       reg.Histogram("store.append_ns"),
+		rotateNS:       reg.Histogram("store.rotate_ns"),
+		compactNS:      reg.Histogram("store.compact_ns"),
+	}
 	byShard := make(map[int][]*SegmentInfo)
 	maxShard := cfg.Shards - 1
 	for _, name := range names {
@@ -148,6 +177,7 @@ func Open(be Backend, cfg Config) (*Store, error) {
 				}
 				seg.Index = indexOf(seg.Recs)
 				s.stats.Recovered++
+				s.obsRecovered.Inc()
 			}
 			info.Index = seg.Index
 			info.Sealed = true
@@ -230,6 +260,9 @@ func (s *Store) flushScratchLocked(sh *shard, rotations *int) error {
 // shard's active segment reaches SegmentCap it is sealed and, if
 // enough small sealed segments have piled up, compacted.
 func (s *Store) Append(m Meta, line string) error {
+	// Counted but not span-timed: a per-record clock pair would cost
+	// ~25% of this path. store.append_ns is observed per batch in
+	// AppendBatch, the path the filter actually flushes through.
 	sh := s.shards[int(m.Machine)%len(s.shards)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -244,6 +277,8 @@ func (s *Store) Append(m Meta, line string) error {
 	s.stats.Appends++
 	s.stats.Rotations += rotations
 	s.statsMu.Unlock()
+	s.obsAppends.Inc()
+	s.obsRotations.Add(int64(rotations))
 	return nil
 }
 
@@ -267,6 +302,7 @@ func (s *Store) AppendBatch(recs []BatchRec) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	span := obs.StartSpan(s.appendNS)
 	nshards := len(s.shards)
 	// One pass over the batch builds a shard-presence bitmask, so shards
 	// with no records in this batch are skipped without taking their
@@ -312,6 +348,9 @@ func (s *Store) AppendBatch(recs []BatchRec) error {
 	s.stats.Appends += appends
 	s.stats.Rotations += rotations
 	s.statsMu.Unlock()
+	s.obsAppends.Add(int64(appends))
+	s.obsRotations.Add(int64(rotations))
+	span.End()
 	return nil
 }
 
@@ -322,6 +361,7 @@ func (s *Store) sealLocked(sh *shard) error {
 	if a == nil || a.Index.Count == 0 {
 		return nil
 	}
+	span := obs.StartSpan(s.rotateNS)
 	footer := AppendFooter(nil, a.Index, uint32(a.Bytes))
 	if err := s.be.Append(a.Name, footer); err != nil {
 		return err
@@ -329,6 +369,7 @@ func (s *Store) sealLocked(sh *shard) error {
 	a.Sealed = true
 	sh.sealed = append(sh.sealed, a)
 	sh.active = nil
+	span.End()
 	return nil
 }
 
@@ -346,6 +387,7 @@ func (s *Store) compactLocked(sh *shard) error {
 	if len(run) < s.cfg.CompactMin {
 		return nil
 	}
+	span := obs.StartSpan(s.compactNS)
 	var frames []byte
 	var x Index
 	for _, info := range run {
@@ -380,6 +422,8 @@ func (s *Store) compactLocked(sh *shard) error {
 	s.statsMu.Lock()
 	s.stats.Compactions++
 	s.statsMu.Unlock()
+	s.obsCompactions.Inc()
+	span.End()
 	return nil
 }
 

@@ -26,6 +26,21 @@ go test -run '^$' -bench 'BenchmarkStoreIngestBatch$' -benchmem -benchtime=10000
 go test -run '^$' -bench 'BenchmarkFilterEngineParallel' -benchmem -benchtime=100000x . >>"$tmp"
 go test -run '^$' -bench 'BenchmarkQueryParallel' -benchmem -benchtime=20x . >>"$tmp"
 
+# Fail loudly rather than archive an empty or lying file: every bench
+# must have produced a result line, and none may have collapsed to zero
+# iterations (a sign the benchmark silently broke).
+bench_lines=$(grep -c '^Benchmark' "$tmp" || true)
+if [ "$bench_lines" -eq 0 ]; then
+    echo "bench_filter.sh: no benchmark results produced" >&2
+    exit 1
+fi
+bad=$(awk '/^Benchmark/ && ($2 + 0) <= 0 { print $1 }' "$tmp")
+if [ -n "$bad" ]; then
+    echo "bench_filter.sh: benchmarks regressed to 0 iterations:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
 awk '
 BEGIN { print "{"; print "  \"generated_by\": \"scripts/bench_filter.sh\","; print "  \"benchmarks\": [" }
 /^Benchmark/ {
@@ -43,4 +58,12 @@ BEGIN { print "{"; print "  \"generated_by\": \"scripts/bench_filter.sh\","; pri
 END { print ""; print "  ]"; print "}" }
 ' "$tmp" >"$out"
 
-echo "wrote $out"
+# The emit must carry exactly one JSON entry per benchmark line; a
+# mismatch means the awk translation dropped results.
+json_entries=$(grep -c '"name":' "$out" || true)
+if [ "$json_entries" -ne "$bench_lines" ]; then
+    echo "bench_filter.sh: JSON emit failed: $json_entries entries for $bench_lines benchmarks" >&2
+    exit 1
+fi
+
+echo "wrote $out ($json_entries benchmarks)"
