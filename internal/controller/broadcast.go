@@ -1,0 +1,91 @@
+package controller
+
+// Scatter-gather fan-out over persistent daemon sessions. The
+// controller keeps one supervised session per machine (daemon
+// package, session.go) and broadcasts multi-machine commands —
+// status, stats, startjob, setflags — concurrently instead of
+// machine by machine: results gather into per-host slots, a machine
+// that cannot answer contributes an error slot within the retry
+// policy's deadline, and the merged report is degraded rather than
+// hung.
+
+import (
+	"sync"
+
+	"dpm/internal/daemon"
+)
+
+// session returns the controller's persistent session to host's
+// daemon, dialing one on first use. It returns nil — sending the
+// caller down the one-shot exchange path — when the host is unknown
+// (that path fails fast with the right error) or the controller has
+// shut down.
+func (c *Controller) session(host string) *daemon.Session {
+	if _, err := c.cluster.Machine(host); err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	if s, ok := c.sessions[host]; ok {
+		return s
+	}
+	s := daemon.DialSession(c.cmd, host, c.sessionCfg)
+	c.sessions[host] = s
+	return s
+}
+
+// SetSessionConfig tunes sessions dialed from now on; tests and soaks
+// shorten the liveness timings.
+func (c *Controller) SetSessionConfig(cfg daemon.SessionConfig) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sessionCfg = cfg
+}
+
+// closeSessions retires every session; part of controller exit.
+func (c *Controller) closeSessions() {
+	c.mu.Lock()
+	sess := c.sessions
+	c.sessions = make(map[string]*daemon.Session)
+	c.mu.Unlock()
+	for _, s := range sess {
+		s.Close()
+	}
+}
+
+// hostResult is one slot of a broadcast: the reply or the error that
+// stands in for it.
+type hostResult struct {
+	Host string
+	Rep  *daemon.Reply
+	Err  error
+}
+
+// broadcast fans one request per host out concurrently and gathers
+// the replies into per-host slots, returned in hosts order so report
+// output stays deterministic. Each slot is bounded by the exchange
+// retry policy, so the gather always completes; a broadcast with any
+// failed slot counts under broadcast.degraded.
+func (c *Controller) broadcast(hosts []string, mk func(host string) *daemon.WireMsg) []hostResult {
+	out := make([]hostResult, len(hosts))
+	var wg sync.WaitGroup
+	for i, h := range hosts {
+		wg.Add(1)
+		go func(i int, h string) {
+			defer wg.Done()
+			rep, err := c.exchange(h, mk(h))
+			out[i] = hostResult{Host: h, Rep: rep, Err: err}
+		}(i, h)
+	}
+	wg.Wait()
+	for _, r := range out {
+		if r.Err != nil {
+			c.machine.Obs().Counter("broadcast.degraded").Inc()
+			break
+		}
+	}
+	return out
+}

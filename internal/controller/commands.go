@@ -5,6 +5,7 @@ import (
 	"hash/crc32"
 	"strconv"
 	"strings"
+	"sync"
 
 	"dpm/internal/daemon"
 	"dpm/internal/filter"
@@ -304,20 +305,32 @@ func (c *Controller) cmdSetFlags(args []string) {
 	procs := append([]*JobProc(nil), job.Procs...)
 	c.mu.Unlock()
 	c.printf("new job flags = %s\n", strings.Join(flags.FlagNames(), " "))
-	for _, p := range procs {
-		req := &daemon.ProcReq{Type: daemon.TSetFlagsReq, PID: p.PID, UID: c.uid, Flags: uint32(flags)}
-		rep, err := c.exchange(p.Machine, req.Wire())
-		switch {
-		case err != nil:
-			c.printf("Process '%s' : %v\n", p.Name, err)
-		case !rep.OK():
-			c.printf("Process '%s' : %s\n", p.Name, rep.Status)
-		default:
-			c.mu.Lock()
-			p.Flags = flags
-			c.mu.Unlock()
-			c.printf("Process '%s' : Flags set\n", p.Name)
-		}
+	// Scatter the per-process flag updates, gather the per-process
+	// report in table order.
+	lines := make([]string, len(procs))
+	var wg sync.WaitGroup
+	for i, p := range procs {
+		wg.Add(1)
+		go func(i int, p *JobProc) {
+			defer wg.Done()
+			req := &daemon.ProcReq{Type: daemon.TSetFlagsReq, PID: p.PID, UID: c.uid, Flags: uint32(flags)}
+			rep, err := c.exchange(p.Machine, req.Wire())
+			switch {
+			case err != nil:
+				lines[i] = fmt.Sprintf("Process '%s' : %v\n", p.Name, err)
+			case !rep.OK():
+				lines[i] = fmt.Sprintf("Process '%s' : %s\n", p.Name, rep.Status)
+			default:
+				c.mu.Lock()
+				p.Flags = flags
+				c.mu.Unlock()
+				lines[i] = fmt.Sprintf("Process '%s' : Flags set\n", p.Name)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, l := range lines {
+		c.printf("%s", l)
 	}
 }
 
@@ -336,33 +349,47 @@ func (c *Controller) signalJob(jobName string, to State, reqType daemon.MsgType,
 		c.printf("no job '%s'\n", jobName)
 		return
 	}
-	for _, p := range procs {
+	// Scatter: every eligible process is signaled concurrently, so one
+	// dead machine's retries no longer serialize the rest of the job.
+	// Gather: the per-process report still prints in table order (the
+	// Appendix B transcript shape), whatever order the replies land.
+	lines := make([]string, len(procs))
+	var wg sync.WaitGroup
+	for i, p := range procs {
 		c.mu.Lock()
 		from := p.State
 		c.mu.Unlock()
 		if !CanTransition(from, to) {
 			// "Processes that are running, killed, or acquired cannot
 			// be started"; stopjob ignores killed and acquired.
-			c.printf("'%s' not %s (%s).\n", p.Name, verb, from)
+			lines[i] = fmt.Sprintf("'%s' not %s (%s).\n", p.Name, verb, from)
 			continue
 		}
-		req := &daemon.ProcReq{Type: reqType, PID: p.PID, UID: c.uid}
-		rep, err := c.exchange(p.Machine, req.Wire())
-		switch {
-		case err != nil:
-			c.printf("'%s' not %s: %v\n", p.Name, verb, err)
-		case !rep.OK():
-			c.printf("'%s' not %s: %s\n", p.Name, verb, rep.Status)
-		default:
-			c.mu.Lock()
-			// The process may have terminated in the meantime; never
-			// overwrite killed.
-			if p.State == from {
-				p.State = to
+		wg.Add(1)
+		go func(i int, p *JobProc, from State) {
+			defer wg.Done()
+			req := &daemon.ProcReq{Type: reqType, PID: p.PID, UID: c.uid}
+			rep, err := c.exchange(p.Machine, req.Wire())
+			switch {
+			case err != nil:
+				lines[i] = fmt.Sprintf("'%s' not %s: %v\n", p.Name, verb, err)
+			case !rep.OK():
+				lines[i] = fmt.Sprintf("'%s' not %s: %s\n", p.Name, verb, rep.Status)
+			default:
+				c.mu.Lock()
+				// The process may have terminated in the meantime; never
+				// overwrite killed.
+				if p.State == from {
+					p.State = to
+				}
+				c.mu.Unlock()
+				lines[i] = fmt.Sprintf("'%s' %s.\n", p.Name, verb)
 			}
-			c.mu.Unlock()
-			c.printf("'%s' %s.\n", p.Name, verb)
-		}
+		}(i, p, from)
+	}
+	wg.Wait()
+	for _, l := range lines {
+		c.printf("%s", l)
 	}
 }
 
@@ -567,21 +594,34 @@ func (c *Controller) cmdJobs(args []string) {
 }
 
 // cmdStatus probes each machine's meterdaemon and reports per-machine
-// reachability — the operator's view of the control plane. Probing
-// goes through the normal exchange path, so a machine that fails its
-// probe is marked unreachable (and its processes lost), and a machine
-// that answers is marked reachable again.
+// reachability — the operator's view of the control plane. All
+// machines are probed concurrently (one broadcast, roughly one round
+// trip) and the report prints in machine order. Probing goes through
+// the normal exchange path, so a machine that fails its probe is
+// marked unreachable (and its processes lost), and a machine that
+// answers is marked reachable again.
 func (c *Controller) cmdStatus() {
+	var remote []string
+	for _, m := range c.cluster.Machines() {
+		if m.Name() != c.machine.Name() {
+			remote = append(remote, m.Name())
+		}
+	}
+	res := c.broadcast(remote, func(string) *daemon.WireMsg {
+		return (&daemon.ProcReq{Type: daemon.TListReq, UID: c.uid}).Wire()
+	})
+	byHost := make(map[string]hostResult, len(res))
+	for _, r := range res {
+		byHost[r.Host] = r
+	}
 	for _, m := range c.cluster.Machines() {
 		name := m.Name()
-		if name == c.machine.Name() {
+		switch {
+		case name == c.machine.Name():
 			c.printf("machine %s: reachable (controller)\n", name)
-			continue
-		}
-		req := &daemon.ProcReq{Type: daemon.TListReq, UID: c.uid}
-		if _, err := c.exchange(name, req.Wire()); err != nil {
+		case byHost[name].Err != nil:
 			c.printf("machine %s: unreachable\n", name)
-		} else {
+		default:
 			c.printf("machine %s: reachable\n", name)
 		}
 	}
@@ -605,20 +645,25 @@ func (c *Controller) cmdStats(args []string) {
 		c.printf("stats: %v\n", err)
 		return
 	}
+	// One broadcast instead of a machine-by-machine poll: the fan-out
+	// takes roughly one round trip, and the merge below walks the
+	// gathered slots in target order so the report is deterministic.
+	res := c.broadcast(targets, func(string) *daemon.WireMsg {
+		return (&daemon.StatsReq{UID: c.uid}).Wire()
+	})
 	var merged *obs.Snapshot
 	var reporting, missing []string
-	for _, host := range targets {
-		rep, err := c.exchange(host, (&daemon.StatsReq{UID: c.uid}).Wire())
-		if err != nil || !rep.OK() {
-			missing = append(missing, host)
+	for _, r := range res {
+		if r.Err != nil || !r.Rep.OK() {
+			missing = append(missing, r.Host)
 			continue
 		}
-		s, perr := obs.ParseSnapshot([]byte(rep.Data))
+		s, perr := obs.ParseSnapshot([]byte(r.Rep.Data))
 		if perr != nil {
-			missing = append(missing, host)
+			missing = append(missing, r.Host)
 			continue
 		}
-		reporting = append(reporting, host)
+		reporting = append(reporting, r.Host)
 		if merged == nil {
 			merged = s
 		} else {
@@ -975,6 +1020,10 @@ func (c *Controller) cmdDie() bool {
 		req := &daemon.ProcReq{Type: daemon.TKillReq, PID: f.PID, UID: c.uid}
 		_, _ = c.exchange(f.Machine, req.Wire())
 	}
+	// Retire the persistent sessions before the command process exits;
+	// a session supervisor outliving its process would hold cluster
+	// shutdown hostage.
+	c.closeSessions()
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()

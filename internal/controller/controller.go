@@ -93,6 +93,11 @@ type Controller struct {
 	retry       daemon.RetryPolicy
 	unreachable map[string]bool
 
+	// sessions holds one persistent supervised session per machine,
+	// dialed lazily (broadcast.go); sessionCfg tunes new ones.
+	sessions   map[string]*daemon.Session
+	sessionCfg daemon.SessionConfig
+
 	dieArmed bool
 	closed   bool
 }
@@ -142,25 +147,47 @@ func New(cluster *kernel.Cluster, machineName string, uid int, terminal io.Write
 		jobs:        make(map[string]*Job),
 		nextPort:    9000,
 		unreachable: make(map[string]bool),
+		sessions:    make(map[string]*daemon.Session),
 	}
 	go c.notifyLoop(nfd)
 	return c, nil
 }
 
 // notifyLoop accepts daemon-initiated connections and applies their
-// state-change and I/O messages. It ends when the notify process is
-// killed (controller shutdown).
+// state-change and I/O messages. Daemons keep their notification
+// connection open across messages, so each accepted connection gets
+// its own drainer goroutine that reads until EOF — one daemon's idle
+// connection must not block another's notifications. It ends when the
+// notify process is killed (controller shutdown).
 func (c *Controller) notifyLoop(nfd int) {
 	for {
 		conn, _, err := c.notify.Accept(nfd)
 		if err != nil {
 			return
 		}
-		msg, err := readNotify(c.notify, conn)
-		_ = c.notify.Close(conn)
+		c.notify.Go(func() { c.drainNotify(conn) })
+	}
+}
+
+// drainNotify applies every message arriving on one notification
+// connection until the peer closes it.
+func (c *Controller) drainNotify(conn int) {
+	defer func() { _ = c.notify.Close(conn) }()
+	var buf []byte
+	for {
+		msg, n, err := daemon.DecodeWire(buf)
 		if err != nil {
+			if !errors.Is(err, daemon.ErrWireShort) {
+				return
+			}
+			data, rerr := c.notify.Recv(conn, 8192)
+			if rerr != nil {
+				return
+			}
+			buf = append(buf, data...)
 			continue
 		}
+		buf = buf[n:]
 		switch msg.Type {
 		case daemon.TStateChange:
 			sc := daemon.ParseStateChange(msg)
@@ -171,21 +198,6 @@ func (c *Controller) notifyLoop(nfd int) {
 			fmt.Fprintf(c.sink, "%s", iod.Data)
 			c.mu.Unlock()
 		}
-	}
-}
-
-func readNotify(p *kernel.Process, fd int) (*daemon.WireMsg, error) {
-	var buf []byte
-	for {
-		msg, _, err := daemon.DecodeWire(buf)
-		if err == nil {
-			return msg, nil
-		}
-		data, rerr := p.Recv(fd, 8192)
-		if rerr != nil {
-			return nil, rerr
-		}
-		buf = append(buf, data...)
 	}
 }
 
@@ -351,14 +363,26 @@ func (c *Controller) printf(format string, args ...any) {
 }
 
 // exchange performs one controller↔daemon RPC, hardened with the
-// controller's retry policy. A machine whose exchange exhausts every
-// retry is marked unreachable and its processes become lost; a later
-// successful exchange marks it reachable again.
+// controller's retry policy. Requests normally ride the persistent
+// session to the host's daemon; a peer that turns out to speak only
+// one-shot exchanges gets the legacy path instead. A machine whose
+// exchange exhausts every retry is marked unreachable and its
+// processes become lost; a later successful exchange marks it
+// reachable again.
 func (c *Controller) exchange(host string, req *daemon.WireMsg) (*daemon.Reply, error) {
 	c.mu.Lock()
 	rp := c.retry
 	c.mu.Unlock()
-	rep, err := daemon.ExchangeRetry(c.cmd, host, req, rp)
+	var rep *daemon.Reply
+	var err error
+	if s := c.session(host); s != nil {
+		rep, err = daemon.SessionExchange(s, req, rp)
+		if errors.Is(err, daemon.ErrSessionLegacy) {
+			rep, err = daemon.ExchangeRetry(c.cmd, host, req, rp)
+		}
+	} else {
+		rep, err = daemon.ExchangeRetry(c.cmd, host, req, rp)
+	}
 	c.noteExchange(host, err)
 	return rep, err
 }

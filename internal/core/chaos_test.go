@@ -213,6 +213,16 @@ func TestChaosSoak(t *testing.T) {
 		return false
 	})
 
+	// Quiesce the load generators before the verification scans below:
+	// every beacon spins at full tilt until told otherwise, and on a
+	// small machine a dozen of them starve the store reader while
+	// growing the very store it is trying to scan. Stopping the jobs
+	// freezes both trace sinks at a matched point without killing
+	// anything the invariants above counted.
+	for _, j := range ctl.Jobs() {
+		ctl.Exec("stopjob " + j.Name)
+	}
+
 	// The filter's trace parses; a tail torn by a crash is tolerated.
 	var logged []trace.Event
 	deadline := time.Now().Add(5 * time.Second)

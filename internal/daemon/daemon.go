@@ -9,10 +9,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dpm/internal/kernel"
 	"dpm/internal/meter"
+	"dpm/internal/obs"
 	"dpm/internal/query"
 	"dpm/internal/store"
 )
@@ -66,16 +68,21 @@ type childInfo struct {
 // socket (the simulation's SIGCHLD).
 const exitNotePrefix = "X "
 
-// Main is the meterdaemon program. It serves controller requests one
-// per connection, forwards child standard output to the controllers,
-// and reports child terminations by initiating a connection to the
-// responsible controller (section 3.5.1).
+// Main is the meterdaemon program. It accepts controller connections
+// and serves each on an auxiliary goroutine: legacy one-shot exchanges
+// (one request per temporary connection, section 3.5.1) and persistent
+// multiplexed sessions (frame.go) are distinguished by sniffing the
+// first four bytes. It also forwards child standard output to the
+// controllers and reports child terminations by connecting to the
+// responsible controller's notification socket.
 func Main(p *kernel.Process) int {
 	d := &daemonState{
-		p:        p,
-		children: make(map[int]*childInfo),
-		byStdio:  make(map[uint16]*childInfo),
-		creates:  make(map[string]*Reply),
+		p:            p,
+		children:     make(map[int]*childInfo),
+		byStdio:      make(map[uint16]*childInfo),
+		creates:      make(map[string]*Reply),
+		notifyFDs:    make(map[string]int),
+		notifyFailed: p.Machine().Obs().Counter("daemon.notify_failed"),
 	}
 	lfd, err := p.Socket(meter.AFInet, kernel.SockStream)
 	if err != nil {
@@ -121,7 +128,10 @@ func Main(p *kernel.Process) int {
 				if err != nil {
 					return 0
 				}
-				d.serveConn(conn)
+				// Each connection gets its own goroutine, so a slow
+				// request (or a whole session) never blocks the accept
+				// loop or the gateway.
+				p.Go(func() { d.serveConn(conn) })
 			case gfd:
 				data, src, err := p.RecvFrom(gfd, 8192)
 				if err != nil {
@@ -138,14 +148,31 @@ type daemonState struct {
 	gfd         int // the gateway datagram socket
 	gatewayPort uint16
 	gatewayName meter.Name
-	children    map[int]*childInfo
-	byStdio     map[uint16]*childInfo
+
+	// mu guards the child tables, the idempotency ledger, and the
+	// notification connection cache — connections are served on
+	// concurrent goroutines since the session layer arrived.
+	mu       sync.Mutex
+	children map[int]*childInfo
+	byStdio  map[uint16]*childInfo
 
 	// Idempotency ledger: token -> the reply of the create that already
 	// ran under it. A create retried after a lost reply finds its
 	// original outcome here instead of creating a second process.
+	// createMu serializes whole creates, so a retry arriving on a new
+	// session connection while the original is still executing cannot
+	// slip past the ledger check and create a second process.
+	createMu   sync.Mutex
 	creates    map[string]*Reply
 	tokenOrder []string // FIFO for bounding the ledger
+
+	// Persistent notification connections, one per controller
+	// (host, port). The paper's daemon opened a temporary connection
+	// per state change; keeping it open makes the common notification
+	// one send, and a failure is retried once on a fresh connection
+	// before being counted under daemon.notify_failed.
+	notifyFDs    map[string]int
+	notifyFailed *obs.Counter
 }
 
 // maxCreateTokens bounds the idempotency ledger; the oldest entries
@@ -157,6 +184,8 @@ func (d *daemonState) rememberCreate(token string, rep *Reply) {
 	if token == "" {
 		return
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if len(d.tokenOrder) >= maxCreateTokens {
 		delete(d.creates, d.tokenOrder[0])
 		d.tokenOrder = d.tokenOrder[1:]
@@ -165,11 +194,34 @@ func (d *daemonState) rememberCreate(token string, rep *Reply) {
 	d.tokenOrder = append(d.tokenOrder, token)
 }
 
-// serveConn reads one request, executes it, replies, and closes — the
-// temporary-connection RPC discipline of section 3.5.1.
+// lookupCreate consults the idempotency ledger.
+func (d *daemonState) lookupCreate(token string) (*Reply, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rep, ok := d.creates[token]
+	return rep, ok
+}
+
+// serveConn serves one accepted connection. The first four bytes pick
+// the protocol: the session magic starts a persistent multiplexed
+// session; anything else is a legacy one-shot exchange — read one
+// request, execute it, reply, close (section 3.5.1). Old controllers
+// therefore keep working against new daemons unchanged.
 func (d *daemonState) serveConn(conn int) {
 	defer func() { _ = d.p.Close(conn) }()
-	req, err := readWire(d.p, conn)
+	var buf []byte
+	for len(buf) < 4 {
+		data, err := d.p.Recv(conn, 8192)
+		if err != nil {
+			return
+		}
+		buf = append(buf, data...)
+	}
+	if isFrameMagic(buf) {
+		d.serveSession(conn, buf[4:])
+		return
+	}
+	req, err := readWireBuf(d.p, conn, buf)
 	if err != nil {
 		return
 	}
@@ -247,7 +299,12 @@ func (d *daemonState) connectMeterSocket(host string, port uint16) (int, error) 
 }
 
 func (d *daemonState) handleCreate(req *CreateReq) *Reply {
-	if rep, ok := d.creates[req.Token]; ok && req.Token != "" {
+	// One create at a time: the token check and the spawn must be
+	// atomic against a transparently re-issued duplicate of the same
+	// request arriving on another connection.
+	d.createMu.Lock()
+	defer d.createMu.Unlock()
+	if rep, ok := d.lookupCreate(req.Token); ok && req.Token != "" {
 		return rep
 	}
 	m := d.p.Machine()
@@ -331,8 +388,10 @@ func (d *daemonState) handleCreate(req *CreateReq) *Reply {
 		controlPort: req.ControlPort,
 		stdioPort:   stdioPort,
 	}
+	d.mu.Lock()
 	d.children[info.pid] = info
 	d.byStdio[info.stdioPort] = info
+	d.mu.Unlock()
 
 	// The simulation's SIGCHLD: the kernel pokes the daemon's gateway
 	// when the child terminates; the daemon then connects to the
@@ -428,7 +487,9 @@ func (d *daemonState) handleStdin(req *ProcReq) *Reply {
 	if _, rep := d.checkTarget(req, TStdinRep); rep != nil {
 		return rep
 	}
+	d.mu.Lock()
 	info := d.children[req.PID]
+	d.mu.Unlock()
 	if info == nil {
 		return &Reply{Type: TStdinRep, PID: req.PID, Status: "process was not created by this meterdaemon"}
 	}
@@ -524,13 +585,14 @@ func (d *daemonState) handleGateway(data []byte, src meter.Name) {
 		}
 		pid, _ := strconv.Atoi(parts[0])
 		status, _ := strconv.Atoi(parts[1])
+		d.mu.Lock()
 		info := d.children[pid]
-		if info == nil {
-			return
+		if info != nil {
+			delete(d.children, pid)
+			delete(d.byStdio, info.stdioPort)
 		}
-		delete(d.children, pid)
-		delete(d.byStdio, info.stdioPort)
-		if info.controlHost == "" {
+		d.mu.Unlock()
+		if info == nil || info.controlHost == "" {
 			return
 		}
 		sc := &StateChange{Machine: d.p.Machine().Name(), PID: pid, Reason: parts[2], Status: status}
@@ -539,7 +601,9 @@ func (d *daemonState) handleGateway(data []byte, src meter.Name) {
 	}
 	if src.Family() == meter.AFInet {
 		_, port := src.Inet()
+		d.mu.Lock()
 		info := d.byStdio[port]
+		d.mu.Unlock()
 		if info == nil || info.controlHost == "" {
 			return
 		}
@@ -548,29 +612,82 @@ func (d *daemonState) handleGateway(data []byte, src meter.Name) {
 	}
 }
 
-// notifyController opens a temporary connection to the controller's
-// notification socket, sends one message, and closes.
+// notifyController delivers one daemon-initiated message (state change
+// or forwarded output) to a controller's notification socket. The
+// connection persists across notifications; a send that fails — the
+// controller restarted, or the old connection was severed by a
+// partition — is retried once on a fresh connection, and only then is
+// the notification counted lost under daemon.notify_failed. (The
+// paper's daemon opened a temporary connection each time and an error
+// dropped the notification silently.)
 func (d *daemonState) notifyController(info *childInfo, msg *WireMsg) error {
+	key := fmt.Sprintf("%s:%d", info.controlHost, info.controlPort)
+	payload := msg.Encode()
+
+	d.mu.Lock()
+	fd, cached := d.notifyFDs[key]
+	d.mu.Unlock()
+	if cached {
+		if _, err := d.p.Send(fd, payload); err == nil {
+			return nil
+		}
+		// Stale connection: drop it and fall through to a fresh dial.
+		d.dropNotifyFD(key, fd)
+	}
+
+	fd, err := d.dialNotify(info)
+	if err != nil {
+		d.notifyFailed.Inc()
+		return err
+	}
+	d.mu.Lock()
+	d.notifyFDs[key] = fd
+	d.mu.Unlock()
+	if _, err := d.p.Send(fd, payload); err != nil {
+		d.dropNotifyFD(key, fd)
+		d.notifyFailed.Inc()
+		return err
+	}
+	return nil
+}
+
+// dialNotify opens a stream connection to a controller's notification
+// socket.
+func (d *daemonState) dialNotify(info *childInfo) (int, error) {
 	hostID, _, err := d.p.Machine().Cluster().ResolveFrom(d.p.Machine(), info.controlHost)
 	if err != nil {
-		return err
+		return -1, err
 	}
 	fd, err := d.p.Socket(meter.AFInet, kernel.SockStream)
 	if err != nil {
-		return err
+		return -1, err
 	}
-	defer func() { _ = d.p.Close(fd) }()
 	if err := d.p.Connect(fd, meter.InetName(hostID, info.controlPort)); err != nil {
-		return err
+		_ = d.p.Close(fd)
+		return -1, err
 	}
-	_, err = d.p.Send(fd, msg.Encode())
-	return err
+	return fd, nil
+}
+
+// dropNotifyFD closes a dead notification connection and forgets it if
+// it is still the cached one.
+func (d *daemonState) dropNotifyFD(key string, fd int) {
+	d.mu.Lock()
+	if d.notifyFDs[key] == fd {
+		delete(d.notifyFDs, key)
+	}
+	d.mu.Unlock()
+	_ = d.p.Close(fd)
 }
 
 // readWire accumulates stream bytes on a connection until one complete
 // wire message is decoded.
 func readWire(p *kernel.Process, fd int) (*WireMsg, error) {
-	var buf []byte
+	return readWireBuf(p, fd, nil)
+}
+
+// readWireBuf is readWire starting from already-buffered bytes.
+func readWireBuf(p *kernel.Process, fd int, buf []byte) (*WireMsg, error) {
 	for {
 		msg, _, err := DecodeWire(buf)
 		if err == nil {

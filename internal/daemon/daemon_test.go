@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -82,6 +83,9 @@ func newRig(t *testing.T) *testRig {
 	}
 	_, notifyPort := nname.Inet()
 
+	// Daemons hold their notification connection open and send many
+	// messages on it, so each accepted connection is drained until EOF
+	// on its own goroutine.
 	ch := make(chan *WireMsg, 64)
 	go func() {
 		for {
@@ -89,10 +93,26 @@ func newRig(t *testing.T) *testRig {
 			if err != nil {
 				return
 			}
-			if msg, err := readWire(notify, conn); err == nil {
-				ch <- msg
-			}
-			_ = notify.Close(conn)
+			notify.Go(func() {
+				defer func() { _ = notify.Close(conn) }()
+				var buf []byte
+				for {
+					msg, n, err := DecodeWire(buf)
+					if err == nil {
+						buf = buf[n:]
+						ch <- msg
+						continue
+					}
+					if !errors.Is(err, ErrWireShort) {
+						return
+					}
+					data, rerr := notify.Recv(conn, 8192)
+					if rerr != nil {
+						return
+					}
+					buf = append(buf, data...)
+				}
+			})
 		}
 	}()
 

@@ -20,6 +20,33 @@ type RetryPolicy struct {
 	BaseDelay    time.Duration // first backoff; default 10ms
 	MaxDelay     time.Duration // backoff ceiling; default 500ms
 	ReplyTimeout time.Duration // per-attempt reply deadline; default 2s
+	// Rand supplies the backoff jitter; nil uses the global math/rand
+	// source. Tests and soaks inject a seeded source so retry timing is
+	// reproducible. Session reconnect backoff shares it.
+	Rand JitterSource
+}
+
+// JitterSource is the randomness a retry policy draws jitter from;
+// *math/rand.Rand satisfies it.
+type JitterSource interface {
+	Int63n(n int64) int64
+}
+
+// globalJitter adapts the global math/rand source.
+type globalJitter struct{}
+
+func (globalJitter) Int63n(n int64) int64 { return rand.Int63n(n) }
+
+// jitter returns a uniform jitter in [0, d) from the policy's source.
+func (rp RetryPolicy) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	src := rp.Rand
+	if src == nil {
+		src = globalJitter{}
+	}
+	return time.Duration(src.Int63n(int64(d)))
 }
 
 // ErrExhausted wraps an exchange failure that persisted through every
@@ -56,7 +83,8 @@ func (rp RetryPolicy) withDefaults() RetryPolicy {
 // heals); anything else — a process kill, an unknown machine name, a
 // corrupt message — will not.
 func transientExchangeErr(err error) bool {
-	return errors.Is(err, kernel.ErrConnRefused) ||
+	return errors.Is(err, ErrSessionDown) ||
+		errors.Is(err, kernel.ErrConnRefused) ||
 		errors.Is(err, kernel.ErrHostUnreach) ||
 		errors.Is(err, kernel.ErrTimedOut) ||
 		errors.Is(err, kernel.ErrNotConn) ||
@@ -78,7 +106,7 @@ func ExchangeRetry(p *kernel.Process, host string, req *WireMsg, rp RetryPolicy)
 	for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			reg.Counter("daemon.retries").Inc()
-			time.Sleep(delay + time.Duration(rand.Int63n(int64(delay))))
+			time.Sleep(delay + rp.jitter(delay))
 			if delay *= 2; delay > rp.MaxDelay {
 				delay = rp.MaxDelay
 			}

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"errors"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -90,6 +91,66 @@ func TestExchangeRetryPermanentErrorNotRetried(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
 		t.Fatalf("unknown machine took %v — it was retried", elapsed)
+	}
+}
+
+// recordingJitter is a seedable JitterSource that records the bounds
+// and values it was asked for.
+type recordingJitter struct {
+	r      *rand.Rand
+	bounds []int64
+	draws  []int64
+}
+
+func (j *recordingJitter) Int63n(n int64) int64 {
+	v := j.r.Int63n(n)
+	j.bounds = append(j.bounds, n)
+	j.draws = append(j.draws, v)
+	return v
+}
+
+// TestRetryJitterSeedable: backoff jitter comes from the policy's
+// injected source, following the exponential schedule, and two runs
+// with the same seed draw identical jitter — the reproducibility the
+// chaos soak depends on.
+func TestRetryJitterSeedable(t *testing.T) {
+	r := newRig(t)
+	n, err := r.c.Network("ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(r.yellow.PrimaryHostID(), r.red.PrimaryHostID())
+
+	run := func(seed int64) *recordingJitter {
+		j := &recordingJitter{r: rand.New(rand.NewSource(seed))}
+		_, err := ExchangeRetry(r.ctl, "red", (&WireMsg{Type: TListReq}), RetryPolicy{
+			MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Rand: j,
+		})
+		if !errors.Is(err, ErrExhausted) {
+			t.Fatalf("exchange across partition: %v, want ErrExhausted", err)
+		}
+		return j
+	}
+
+	j1 := run(7)
+	wantBounds := []int64{int64(time.Millisecond), int64(2 * time.Millisecond), int64(4 * time.Millisecond)}
+	if len(j1.bounds) != len(wantBounds) {
+		t.Fatalf("jitter drawn %d times, want %d", len(j1.bounds), len(wantBounds))
+	}
+	for i, b := range wantBounds {
+		if j1.bounds[i] != b {
+			t.Fatalf("jitter bound %d = %d, want %d (exponential schedule)", i, j1.bounds[i], b)
+		}
+	}
+
+	j2 := run(7)
+	for i := range j1.draws {
+		if j1.draws[i] != j2.draws[i] {
+			t.Fatalf("draw %d differs across identically-seeded runs: %d vs %d", i, j1.draws[i], j2.draws[i])
+		}
+	}
+	if j3 := run(8); len(j3.draws) != len(j1.draws) {
+		t.Fatalf("draw count differs across seeds: %d vs %d", len(j3.draws), len(j1.draws))
 	}
 }
 

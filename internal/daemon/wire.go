@@ -8,7 +8,12 @@
 // killing processes, acquiring already-running processes for metering,
 // and reporting state changes back to the controller. Exchanges are
 // structured as remote procedure calls over a temporary stream
-// connection per request (section 3.5.1).
+// connection per request (section 3.5.1). As an extension, the same
+// messages can ride a persistent multiplexed session — one supervised
+// connection per machine with heartbeats and reconnect — framed as in
+// frame.go and supervised as in session.go; the daemon sniffs the
+// first bytes of each accepted connection and serves either protocol
+// (docs/controlplane.md).
 package daemon
 
 import (

@@ -65,9 +65,13 @@ func NewCluster(cfg Config) *Cluster {
 	}
 }
 
-// AddNetwork creates a network in the cluster.
+// AddNetwork creates a network in the cluster. The cluster installs a
+// cut hook so that partitioning the network also resets established
+// stream connections between machines left with no path to each other
+// (see streamCutHook in faults.go).
 func (c *Cluster) AddNetwork(name string, opts ...netsim.Option) *netsim.Network {
 	n := netsim.New(name, opts...)
+	n.SetCutHook(c.streamCutHook)
 	c.mu.Lock()
 	c.networks[name] = n
 	c.mu.Unlock()

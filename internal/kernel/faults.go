@@ -122,11 +122,59 @@ func (c *Cluster) RestartMachine(name string) (*Machine, error) {
 	return m, nil
 }
 
+// streamCutHook runs after a link between two hosts is newly cut on
+// any network (netsim.SetCutHook, installed by AddNetwork). Stream
+// bytes are not routed through the datagram fabric, so a cut cannot
+// drop them in transit; instead, when the machines behind the cut are
+// left with no shared network carrying traffic, every established
+// stream between them is reset — as a real partition outlasting the
+// TCP retransmit timers resets connections. Readers drain what already
+// arrived and then see EOF; writers see EPIPE. Healing the partition
+// does not resurrect severed connections.
+func (c *Cluster) streamCutHook(hostA, hostB uint32) {
+	ma := c.machineByHost(hostA)
+	mb := c.machineByHost(hostB)
+	if ma == nil || mb == nil || ma == mb {
+		return
+	}
+	if c.machinesReachable(ma, mb) {
+		return // another shared network still joins them
+	}
+	for _, s := range ma.streamsTo(mb) {
+		s.sever()
+	}
+	for _, s := range mb.streamsTo(ma) {
+		s.sever()
+	}
+}
+
+// machinesReachable reports whether any shared network can currently
+// carry traffic between two machines.
+func (c *Cluster) machinesReachable(ma, mb *Machine) bool {
+	ma.mu.Lock()
+	nets := append([]string(nil), ma.netOrder...)
+	ma.mu.Unlock()
+	for _, nn := range nets {
+		hb, ok := mb.hostIDOn(nn)
+		if !ok {
+			continue
+		}
+		ha, _ := ma.hostIDOn(nn)
+		n, err := c.Network(nn)
+		if err == nil && n.Reachable(ha, hb) {
+			return true
+		}
+	}
+	return false
+}
+
 // checkStreamPath decides whether a new stream connection from machine
 // `from` can reach `host`, an address of machine `target`. Established
-// streams are reliable by construction and not routed through the
+// streams are carried by paired socket buffers rather than the
 // datagram fabric, but *establishing* one requires a path between the
-// machines, so connect consults the fabric's reachability.
+// machines, so connect consults the fabric's reachability. (Once
+// established, a stream is severed by streamCutHook if a partition
+// later isolates the two machines.)
 func (c *Cluster) checkStreamPath(from, target *Machine, host uint32) error {
 	if target.Down() {
 		return fmt.Errorf("%w: %s is down", ErrHostUnreach, target.name)

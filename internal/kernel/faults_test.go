@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"errors"
+	"io"
 	"testing"
 	"time"
 
@@ -124,6 +125,112 @@ func TestPartitionBlocksStreamConnect(t *testing.T) {
 	}
 	if err := client.Connect(fd2, lname); err != nil {
 		t.Fatalf("connect after heal: %v", err)
+	}
+}
+
+// TestPartitionSeversEstablishedStreams: a partition must break live
+// connections, not only refuse new ones — otherwise a persistent
+// control-plane session would sail through a network split unharmed
+// and the fault would be untestable. The severed connection stays dead
+// after heal (reconnection is the endpoints' job), but new connections
+// succeed again.
+func TestPartitionSeversEstablishedStreams(t *testing.T) {
+	c, red, green := newTestCluster(t)
+	server := detached(t, green)
+	lfd, lname := listenStream(t, server, 3000)
+
+	client := detached(t, red)
+	cfd, err := client.Socket(meter.AFInet, SockStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Connect(cfd, lname); err != nil {
+		t.Fatal(err)
+	}
+	afd, _, err := server.Accept(lfd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bytes delivered before the cut are not lost: the reader drains
+	// them and only then sees EOF.
+	if _, err := client.Send(cfd, []byte("pre-cut")); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := c.Network("ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(red.PrimaryHostID(), green.PrimaryHostID())
+
+	if _, err := client.Send(cfd, []byte("post-cut")); !errors.Is(err, ErrPipe) {
+		t.Fatalf("send across partition: %v, want ErrPipe", err)
+	}
+	data, err := server.Recv(afd, 100)
+	if err != nil || string(data) != "pre-cut" {
+		t.Fatalf("drain before EOF = %q, %v", data, err)
+	}
+	if data, err := server.Recv(afd, 100); err != io.EOF {
+		t.Fatalf("recv on severed stream = %q, %v, want EOF", data, err)
+	}
+
+	// Heal: the old connection stays dead, a new one works.
+	n.Heal()
+	if _, err := client.Send(cfd, []byte("after heal")); !errors.Is(err, ErrPipe) {
+		t.Fatalf("send on severed stream after heal: %v, want ErrPipe", err)
+	}
+	cfd2, err := client.Socket(meter.AFInet, SockStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Connect(cfd2, lname); err != nil {
+		t.Fatalf("reconnect after heal: %v", err)
+	}
+}
+
+// A partition on one network leaves streams alone while another shared
+// network still joins the machines; cutting the last path severs them.
+func TestPartitionSeversOnlyWhenIsolated(t *testing.T) {
+	c := NewCluster(Config{})
+	c.AddNetwork("ether0")
+	c.AddNetwork("ether1")
+	red, err := c.AddMachine("red", nil, "ether0", "ether1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	green, err := c.AddMachine("green", nil, "ether0", "ether1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red.AddAccount(testUID, "user")
+	green.AddAccount(testUID, "user")
+	t.Cleanup(c.Shutdown)
+
+	server := detached(t, green)
+	_, lname := listenStream(t, server, 3000)
+	client := detached(t, red)
+	cfd, err := client.Socket(meter.AFInet, SockStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Connect(cfd, lname); err != nil {
+		t.Fatal(err)
+	}
+
+	n0, _ := c.Network("ether0")
+	n1, _ := c.Network("ether1")
+	h0r, _ := red.HostIDOn("ether0")
+	h0g, _ := green.HostIDOn("ether0")
+	h1r, _ := red.HostIDOn("ether1")
+	h1g, _ := green.HostIDOn("ether1")
+
+	n0.Partition(h0r, h0g)
+	if _, err := client.Send(cfd, []byte("via ether1")); err != nil {
+		t.Fatalf("send with a second network intact: %v", err)
+	}
+	n1.Partition(h1r, h1g)
+	if _, err := client.Send(cfd, []byte("isolated")); !errors.Is(err, ErrPipe) {
+		t.Fatalf("send after full isolation: %v, want ErrPipe", err)
 	}
 }
 

@@ -412,6 +412,30 @@ func (m *Machine) unbindSocket(s *Socket) {
 	m.mu.Unlock()
 }
 
+// streamsTo returns the bound stream sockets on m whose connected peer
+// lives on other. The client end of every cross-machine stream is
+// implicitly bound at connect time, so each established connection has
+// at least one end in some machine's port table; severing that end
+// resets both directions. Socket locks are taken only after releasing
+// the machine lock.
+func (m *Machine) streamsTo(other *Machine) []*Socket {
+	m.mu.Lock()
+	socks := make([]*Socket, 0, len(m.ports))
+	for _, s := range m.ports {
+		if s.typ == SockStream {
+			socks = append(socks, s)
+		}
+	}
+	m.mu.Unlock()
+	var out []*Socket
+	for _, s := range socks {
+		if s.peerMachine() == other {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // PortBound reports whether a socket is bound to (typ, port); the
 // daemon uses it to wait for a newly created filter to come up before
 // reporting it created.

@@ -129,6 +129,12 @@ func (p *Process) WaitExit() (int, string) {
 // ExitChan returns a channel closed at process termination.
 func (p *Process) ExitChan() <-chan struct{} { return p.exitCh }
 
+// KillChan returns a channel closed when the process is killed.
+// Auxiliary goroutines (Process.Go) that sleep outside a system call —
+// a session supervisor pacing reconnect backoff, say — select on it so
+// cluster shutdown is not held up by the remainder of a timer.
+func (p *Process) KillChan() <-chan struct{} { return p.killCh }
+
 // OnExit registers a callback invoked (once, on the exiting process's
 // goroutine) after the process terminates — the simulation's SIGCHLD.
 // If the process has already exited the callback runs immediately.

@@ -152,6 +152,36 @@ func (s *Socket) notifyPeerClosed() {
 	s.mu.Unlock()
 }
 
+// sever kills an established stream connection in both directions, as
+// a network partition resets a TCP connection: readers on either end
+// drain what was already delivered and then see EOF; writers see EPIPE.
+// Severing is permanent for the connection — healing the partition does
+// not resurrect it, the endpoints must reconnect.
+func (s *Socket) sever() {
+	s.mu.Lock()
+	peer := s.peer
+	connected := s.connected
+	s.mu.Unlock()
+	if !connected {
+		return
+	}
+	s.notifyPeerClosed()
+	if peer != nil {
+		peer.notifyPeerClosed()
+	}
+}
+
+// peerMachine returns the machine of the connected peer, nil if none.
+func (s *Socket) peerMachine() *Machine {
+	s.mu.Lock()
+	peer := s.peer
+	s.mu.Unlock()
+	if peer == nil {
+		return nil
+	}
+	return peer.machine
+}
+
 // readyLocked reports whether a read-style operation would not block:
 // data queued, a pending connection to accept, or EOF visible.
 func (s *Socket) readyLocked() bool {

@@ -14,7 +14,9 @@
 // Stream connections are reliable and ordered by definition, so the
 // kernel implements them as directly paired socket buffers; no paper
 // claim depends on stream timing, and keeping streams synchronous keeps
-// the simulation deterministic.
+// the simulation deterministic. Partitions still reach streams: the
+// cut hook (SetCutHook) lets the kernel reset established connections
+// crossing a cut, the way a long partition resets real TCP sessions.
 package netsim
 
 import (
@@ -87,6 +89,7 @@ type Network struct {
 	closed  bool
 	down    bool                 // whole network administratively down
 	cuts    map[linkKey]struct{} // severed host pairs (partitions)
+	cutHook func(a, b uint32)    // called after a link is newly cut
 
 	wg sync.WaitGroup // outstanding delayed deliveries
 }
@@ -180,12 +183,24 @@ func (n *Network) Partition(hostA, hostB uint32) {
 // Links within each side are untouched.
 func (n *Network) PartitionNets(a, b []uint32) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	var cut [][2]uint32
 	for _, ha := range a {
 		for _, hb := range b {
-			if ha != hb {
-				n.cuts[link(ha, hb)] = struct{}{}
+			if ha == hb {
+				continue
 			}
+			if _, dup := n.cuts[link(ha, hb)]; dup {
+				continue
+			}
+			n.cuts[link(ha, hb)] = struct{}{}
+			cut = append(cut, [2]uint32{ha, hb})
+		}
+	}
+	hook := n.cutHook
+	n.mu.Unlock()
+	if hook != nil {
+		for _, pair := range cut {
+			hook(pair[0], pair[1])
 		}
 	}
 }
@@ -194,12 +209,32 @@ func (n *Network) PartitionNets(a, b []uint32) {
 // between two hosts.
 func (n *Network) SetLinkDown(hostA, hostB uint32, down bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	var hook func(a, b uint32)
 	if down {
-		n.cuts[link(hostA, hostB)] = struct{}{}
+		if _, dup := n.cuts[link(hostA, hostB)]; !dup {
+			n.cuts[link(hostA, hostB)] = struct{}{}
+			hook = n.cutHook
+		}
 	} else {
 		delete(n.cuts, link(hostA, hostB))
 	}
+	n.mu.Unlock()
+	if hook != nil {
+		hook(hostA, hostB)
+	}
+}
+
+// SetCutHook registers a function called whenever a link between two
+// hosts is newly cut (Partition, SetLinkDown, PartitionNets). The
+// kernel uses it to reset established stream connections crossing the
+// cut — a partition must break live connections, not only refuse new
+// ones. The hook runs outside the network's lock and may call back
+// into the network (Reachable). Healing has no hook: datagrams resume
+// on their own and severed streams stay severed.
+func (n *Network) SetCutHook(fn func(a, b uint32)) {
+	n.mu.Lock()
+	n.cutHook = fn
+	n.mu.Unlock()
 }
 
 // SetDown takes the whole network down (or back up). While down, Send
