@@ -12,6 +12,13 @@
 //
 // Type "help" at the <Control> prompt for the command menu; Appendix B
 // of the paper is a worked session.
+//
+// Live aggregate mode: -watch takes a controller query command (an
+// aggregate one, usually) and re-runs it -rounds times every
+// -interval milliseconds after the -script has run — an auto-refreshed
+// cluster-wide aggregate view:
+//
+//	dpmon -script setup.dpm -watch 'query all live agg count by machine window 1s' -rounds 5 -interval 500
 package main
 
 import (
@@ -28,6 +35,9 @@ import (
 
 func main() {
 	script := flag.String("script", "", "run commands from this file instead of standard input")
+	watch := flag.String("watch", "", "live mode: a controller command to re-run, then exit")
+	rounds := flag.Int("rounds", 10, "with -watch: refresh count")
+	interval := flag.Int("interval", 1000, "with -watch: refresh interval in milliseconds")
 	flag.Parse()
 	sys, err := core.NewSystem(core.Config{})
 	if err != nil {
@@ -57,5 +67,12 @@ func main() {
 	}
 	fmt.Println("dpm: distributed programs monitor for (simulated) Berkeley UNIX 4.2BSD")
 	fmt.Println("machines: red green blue yellow — controller on yellow; type help for commands")
+	if *watch != "" {
+		if *script != "" {
+			ctl.Run(in)
+		}
+		ctl.Exec(fmt.Sprintf("watch %d %d %s", *rounds, *interval, *watch))
+		return
+	}
 	ctl.Run(in)
 }

@@ -3,7 +3,8 @@
 // command, for stores copied off the cluster (or written by tests and
 // tools through store.DirBackend).
 //
-//	dpquery -store dir [-no-prune] [-workers n] [-stats] [-report] [rule...]
+//	dpquery -store dir [-no-prune] [-workers n] [-stats] [-report] [-json] [rule...]
+//	dpquery -store dir -agg [-json] [rule...] 'agg ...'|'top ...'
 //
 // Each rule argument is one alternative (an OR line of a templates
 // file) in the Figure 3.3/3.4 syntax, conditions comma-separated:
@@ -14,6 +15,17 @@
 // to standard output in trace-log format; -stats prints the pruning
 // statistics to standard error, and -report replaces the record listing
 // with the full analysis report over the matching records.
+//
+// With -agg, one argument must be an aggregate line in the extended
+// syntax of docs/query.md ("agg count by machine window 1s", "top 10
+// pid by sum(msgLength)"); the matching records fold into the
+// aggregate where they are read and the rendered table (or, with
+// -json, the machine-readable rows) is printed:
+//
+//	dpquery -store f1.store -agg 'type=4' 'agg sum(msgLength) by machine'
+//
+// -json switches either mode to machine-readable output: the matching
+// records as a JSON array, or the aggregate result rows.
 package main
 
 import (
@@ -23,7 +35,9 @@ import (
 	"os"
 	"strings"
 
+	"dpm/internal/agg"
 	"dpm/internal/analysis"
+	"dpm/internal/cli"
 	"dpm/internal/query"
 	"dpm/internal/store"
 )
@@ -34,34 +48,66 @@ func main() {
 	workers := flag.Int("workers", 1, "segment-scan parallelism (1 = sequential; results identical)")
 	stats := flag.Bool("stats", false, "print scan statistics to standard error")
 	report := flag.Bool("report", false, "print the analysis report instead of the records")
+	aggregate := flag.Bool("agg", false, "aggregate mode: one argument is an 'agg ...' or 'top ...' line")
+	asJSON := flag.Bool("json", false, "machine-readable JSON output")
 	flag.Parse()
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: dpquery -store dir [-no-prune] [-workers n] [-stats] [-report] [rule...]")
+		fmt.Fprintln(os.Stderr, "usage: dpquery -store dir [-no-prune] [-workers n] [-stats] [-report] [-agg] [-json] [rule...]")
 		os.Exit(2)
 	}
-
-	q, err := query.Compile(strings.Join(flag.Args(), "\n"))
-	if err != nil {
-		log.Fatal(err)
-	}
-	q.NoPrune = *noPrune
-	q.Workers = *workers
 
 	rd, err := store.OpenReader(store.NewDirBackend(*dir))
 	if err != nil {
 		log.Fatal(err)
 	}
+	text := strings.Join(flag.Args(), "\n")
+
+	if *aggregate {
+		aq, err := agg.Compile(text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aq.Sel.NoPrune = *noPrune
+		p, st, err := agg.Eval(rd, aq, agg.Options{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := agg.NewResult(aq.Spec, p)
+		if *asJSON {
+			if err := cli.WriteJSON(os.Stdout, res); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			res.Render(os.Stdout)
+		}
+		if *stats {
+			fmt.Fprintln(os.Stderr, st.String())
+		}
+		return
+	}
+
+	q, err := query.Compile(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q.NoPrune = *noPrune
+	q.Workers = *workers
 	res, err := query.Run(rd, q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *report {
+	switch {
+	case *report:
 		text, err := analysis.Report(res.Events, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(text)
-	} else {
+	case *asJSON:
+		if err := cli.WriteJSON(os.Stdout, res.Events); err != nil {
+			log.Fatal(err)
+		}
+	default:
 		for i := range res.Events {
 			fmt.Println(res.Events[i].Format())
 		}

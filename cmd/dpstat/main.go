@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"dpm/internal/cli"
 	"dpm/internal/obs"
 )
 
@@ -52,7 +53,9 @@ func main() {
 		merged.Merge(s)
 	}
 	if *asJSON {
-		os.Stdout.Write(merged.EncodeJSON())
+		if err := cli.WriteJSON(os.Stdout, merged); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	merged.Render(os.Stdout)

@@ -1,0 +1,224 @@
+package agg
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dpm/internal/obs"
+	"dpm/internal/query"
+	"dpm/internal/store"
+	"dpm/internal/trace"
+)
+
+// Query is a compiled aggregate query: the selection rules choosing
+// the records (compiled to the usual pruning envelopes) and the
+// aggregate specification shaping the answer.
+type Query struct {
+	Sel  *query.Query
+	Spec *Spec
+}
+
+// Compile parses a full aggregate query text: selection-rule lines in
+// the Figure 3.3–3.4 syntax plus exactly one aggregate line ("agg ..."
+// or "top ..."), in any order. Text with no aggregate line is an
+// error here — plain selection queries belong to the query package.
+func Compile(text string) (*Query, error) {
+	var ruleLines, aggLines []string
+	for _, line := range strings.Split(text, "\n") {
+		if IsAggLine(line) {
+			aggLines = append(aggLines, strings.TrimSpace(line))
+		} else {
+			ruleLines = append(ruleLines, line)
+		}
+	}
+	if len(aggLines) == 0 {
+		return nil, fmt.Errorf("%w: no aggregate line", ErrSpec)
+	}
+	if len(aggLines) > 1 {
+		return nil, fmt.Errorf("%w: %d aggregate lines, want one", ErrSpec, len(aggLines))
+	}
+	spec, err := ParseSpec(aggLines[0])
+	if err != nil {
+		return nil, err
+	}
+	sel, err := query.Compile(strings.Join(ruleLines, "\n"))
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Sel: sel, Spec: spec}, nil
+}
+
+// Options tunes one Eval.
+type Options struct {
+	// Workers sets segment-fold parallelism; 0 or 1 is sequential.
+	// Results are identical either way: each worker folds into its own
+	// partial and the partials Merge, which is order-independent.
+	Workers int
+	// Obs, when set, receives agg.runs and the agg.merge_ns latency of
+	// the final partial merge.
+	Obs *obs.Registry
+}
+
+// Eval runs an aggregate query against a store snapshot: admitted
+// segments (footer pruning applied) are scanned where they live and
+// folded into one bounded partial aggregate — the push-down half of a
+// distributed aggregation. The caller ships the partial, not the
+// records.
+func Eval(rd *store.Reader, aq *Query, opt Options) (*Partial, query.Stats, error) {
+	if opt.Obs != nil {
+		opt.Obs.Counter("agg.runs").Inc()
+	}
+	segs, stats := query.Admitted(rd, aq.Sel)
+	if opt.Workers > 1 && len(segs) > 1 {
+		return evalParallel(segs, aq, opt, stats)
+	}
+	p := NewPartial(aq.Spec)
+	for _, rs := range segs {
+		if err := foldSegment(p, rs, aq, &stats); err != nil {
+			return nil, stats, err
+		}
+	}
+	return p, stats, nil
+}
+
+// evalParallel folds admitted segments on a worker pool, one partial
+// per worker, merged at the end — the same shape the controller's
+// cross-machine gather has, exercised inside one machine.
+func evalParallel(segs []*store.ReaderSegment, aq *Query, opt Options, stats query.Stats) (*Partial, query.Stats, error) {
+	workers := opt.Workers
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	parts := make([]*Partial, workers)
+	statsv := make([]query.Stats, workers)
+	errs := make([]error, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := NewPartial(aq.Spec)
+			parts[w] = p
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(segs) {
+					return
+				}
+				if err := foldSegment(p, segs[i], aq, &statsv[w]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	var span obs.Span
+	if opt.Obs != nil {
+		span = obs.StartSpan(opt.Obs.Histogram("agg.merge_ns"))
+	}
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		if err := merged.Merge(p); err != nil {
+			return nil, stats, err
+		}
+	}
+	span.End()
+	for _, s := range statsv {
+		stats.Scanned += s.Scanned
+		stats.Records += s.Records
+		stats.Matched += s.Matched
+		stats.BadLines += s.BadLines
+	}
+	return merged, stats, nil
+}
+
+// foldSegment parses one segment and folds its matching records into
+// the partial. A torn unsealed tail is tolerated, as everywhere else;
+// corruption of a sealed segment is fatal.
+func foldSegment(p *Partial, rs *store.ReaderSegment, aq *Query, stats *query.Stats) error {
+	seg, err := rs.Load()
+	if err != nil && !errors.Is(err, store.ErrTruncated) {
+		return err
+	}
+	stats.Scanned++
+	stats.Records += len(seg.Recs)
+	sketch := aq.Spec.Fn.NeedsSketch()
+	maxGroups := aq.Spec.maxGroups()
+	for _, rec := range seg.Recs {
+		evs, err := trace.ParseLog([]byte(rec.Line))
+		if err != nil || len(evs) != 1 {
+			stats.BadLines++
+			continue
+		}
+		ev := evs[0]
+		ok, _ := aq.Sel.Match(&ev)
+		if !ok {
+			continue
+		}
+		stats.Matched++
+		p.Records++
+		p.noteTime(uint64(ev.CPUTime))
+		key, ok := aq.Spec.keyOf(&ev)
+		if !ok {
+			p.Skipped++
+			continue
+		}
+		v := uint64(1)
+		if aq.Spec.Fn.NeedsField() {
+			fv, ok := fieldOf(&ev, aq.Spec.Field)
+			if !ok {
+				p.Skipped++
+				continue
+			}
+			v = fv
+		}
+		if !p.fold(key, v, sketch, maxGroups) {
+			p.Dropped++
+		}
+	}
+	return nil
+}
+
+// keyOf computes the record's group key, false when a group-by field
+// is absent from the record.
+func (s *Spec) keyOf(ev *trace.Event) (GroupKey, bool) {
+	var key GroupKey
+	if s.WindowMS > 0 {
+		t := uint64(ev.CPUTime)
+		key.Window = t - t%uint64(s.WindowMS)
+	}
+	for i, f := range s.By {
+		v, ok := fieldOf(ev, f)
+		if !ok {
+			return key, false
+		}
+		key.Vals[i] = v
+	}
+	return key, true
+}
+
+// fieldOf resolves a record field by name, header fields first —
+// the same resolution order the query engine's rule evaluation uses.
+func fieldOf(e *trace.Event, name string) (uint64, bool) {
+	switch name {
+	case "machine":
+		return uint64(e.Machine), true
+	case "cpuTime":
+		return uint64(e.CPUTime), true
+	case "procTime":
+		return uint64(e.ProcTime), true
+	case "type", "traceType":
+		return uint64(e.Type), true
+	}
+	v, ok := e.Fields[name]
+	return v, ok
+}

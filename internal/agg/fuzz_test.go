@@ -1,0 +1,103 @@
+package agg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzParseSpec hammers the aggregate-spec parser: whatever the input,
+// it must return a spec or an error — never panic — and an accepted
+// spec must round-trip through its canonical String form.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"agg count by machine window 1s",
+		"agg sum(msgLength) by machine,pid",
+		"agg p95(msgLength) by type window 250ms",
+		"top 10 pid by sum(msgLength)",
+		"top 3 machine by count window 2s",
+		// Truncated clauses.
+		"agg count by",
+		"agg count window",
+		"top",
+		"top 10",
+		"top 10 pid",
+		"top 10 pid by",
+		// Out-of-bounds shapes.
+		"top 1000000 pid by count",
+		"agg count window 0",
+		"agg count window 0s",
+		"agg count window -1ms",
+		"agg count window 99999999999999999999ms",
+		"agg count by a,b,c,d,e",
+		"agg sum(",
+		"agg sum()",
+		"agg count(pid)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		s, err := ParseSpec(line)
+		if err != nil {
+			return
+		}
+		if s.WindowMS < 0 {
+			t.Fatalf("accepted negative window: %q -> %d", line, s.WindowMS)
+		}
+		if len(s.By) > MaxBy {
+			t.Fatalf("accepted %d group fields: %q", len(s.By), line)
+		}
+		if s.TopK > MaxTopK {
+			t.Fatalf("accepted top-k %d: %q", s.TopK, line)
+		}
+		canon := s.String()
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %q -> %q: %v", line, canon, err)
+		}
+		if s2.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q -> %q", line, canon, s2.String())
+		}
+	})
+}
+
+// FuzzParsePartial hammers the binary partial decoder with corrupt and
+// mutated encodings: decode must return a partial or ErrPartialCorrupt,
+// never panic or over-allocate, and an accepted partial must re-encode
+// decodably.
+func FuzzParsePartial(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	for _, line := range []string{
+		"agg count by machine",
+		"agg p95(msgLength) by machine,pid window 100ms",
+		"top 10 pid by sum(msgLength)",
+	} {
+		s, err := ParseSpec(line)
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc := randPartial(s, rng, 100).MarshalBinary()
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		mut := append([]byte{}, enc...)
+		mut[len(mut)/3] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte("DPAG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePartial(data)
+		if err != nil {
+			return
+		}
+		re := p.MarshalBinary()
+		p2, err := ParsePartial(re)
+		if err != nil {
+			t.Fatalf("re-encoding undecodable: %v", err)
+		}
+		if !bytes.Equal(p2.MarshalBinary(), re) {
+			t.Fatal("re-encoding unstable")
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package agg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestMergeOrderIndependence pins the associativity and commutativity
+// of Partial.Merge: a set of per-machine partials merged in any
+// shuffled order, and under any random reduction-tree shape, encodes
+// to byte-identical bytes. This is the property the controller's
+// scatter-gather leans on when replies arrive in arbitrary order and
+// a degraded subset must still fold deterministically.
+func TestMergeOrderIndependence(t *testing.T) {
+	specs := []string{
+		"agg count by machine",
+		"agg sum(msgLength) by machine,pid window 100ms",
+		"agg p95(msgLength) by type",
+		"agg rate by machine window 1s",
+		"top 10 pid by sum(msgLength)",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, line := range specs {
+		s := mustSpec(t, line)
+		// A handful of per-machine partials with overlapping key spaces.
+		parts := make([]*Partial, 6)
+		for i := range parts {
+			parts[i] = randPartial(s, rng, 150)
+		}
+		var want []byte
+		for trial := 0; trial < 200; trial++ {
+			// Clone via the wire format — merge must not mutate inputs
+			// in ways the next trial sees.
+			work := make([]*Partial, len(parts))
+			for i, p := range parts {
+				dec, err := ParsePartial(p.MarshalBinary())
+				if err != nil {
+					t.Fatal(err)
+				}
+				work[i] = dec
+			}
+			rng.Shuffle(len(work), func(i, j int) { work[i], work[j] = work[j], work[i] })
+			// Random reduction tree: repeatedly merge a random pair.
+			for len(work) > 1 {
+				i := rng.Intn(len(work) - 1)
+				if err := work[i].Merge(work[i+1]); err != nil {
+					t.Fatal(err)
+				}
+				work = append(work[:i+1], work[i+2:]...)
+			}
+			got := work[0].MarshalBinary()
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%q: trial %d merged to different bytes", line, trial)
+			}
+		}
+	}
+}
+
+// TestMergeIdentity checks that merging an empty partial is a no-op on
+// the encoding — the unit of the merge monoid.
+func TestMergeIdentity(t *testing.T) {
+	s := mustSpec(t, "agg sum(msgLength) by machine")
+	p := randPartial(s, rand.New(rand.NewSource(9)), 100)
+	want := p.MarshalBinary()
+	if err := p.Merge(NewPartial(s)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.MarshalBinary(), want) {
+		t.Fatal("merging the empty partial changed the encoding")
+	}
+}

@@ -1,0 +1,401 @@
+package agg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"dpm/internal/obs"
+)
+
+// GroupKey identifies one group: the window start (cpuTime ms, 0 when
+// unwindowed) and the values of the group-by fields, fixed-width so
+// keys are comparable map keys. Unused key slots are zero.
+type GroupKey struct {
+	Window uint64
+	Vals   [MaxBy]uint64
+}
+
+// Group is one group's accumulator. Every operator shares the shape —
+// count, sum, min, max, and (for percentile operators) the log2
+// histogram sketch — so a partial can be rendered under any of the
+// spec's views and merges stay operator-independent.
+type Group struct {
+	Key   GroupKey
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+	// hist is the dense log2 sketch, allocated only when the spec's
+	// operator needs it: hist[b] counts values v with bits.Len64(v)==b,
+	// the bucket rule of obs.Histogram, so quantile bounds come from
+	// obs.HistValue.
+	hist []int64
+}
+
+// observe folds one value into the accumulator.
+func (g *Group) observe(v uint64, sketch bool) {
+	sv := int64(v)
+	if g.Count == 0 || sv < g.Min {
+		g.Min = sv
+	}
+	if g.Count == 0 || sv > g.Max {
+		g.Max = sv
+	}
+	g.Count++
+	g.Sum += sv
+	if sketch {
+		if g.hist == nil {
+			g.hist = make([]int64, obs.NumBuckets)
+		}
+		b := bits.Len64(v)
+		if b >= obs.NumBuckets {
+			b = obs.NumBuckets - 1
+		}
+		g.hist[b]++
+	}
+}
+
+// HistValue adapts the group's sketch to obs.HistValue, whose
+// Quantile carries the nearest-rank upper-bound semantics the obs
+// layer already pins down.
+func (g *Group) HistValue() obs.HistValue {
+	hv := obs.HistValue{Count: g.Count, Sum: g.Sum}
+	for b, n := range g.hist {
+		if n != 0 {
+			hv.Buckets = append(hv.Buckets, obs.BucketCount{Bucket: uint8(b), Count: n})
+		}
+	}
+	return hv
+}
+
+// Partial is one machine's bounded partial aggregate: the compact
+// thing that crosses the wire instead of the matching records. A
+// partial is complete for the records its machine scanned; partials
+// of different machines (or different segments) Merge into the same
+// result in any order.
+type Partial struct {
+	// Spec is the canonical specification string; Merge refuses
+	// partials of different specs.
+	Spec string
+	// MinTime and MaxTime bound the cpuTime of the folded records;
+	// MaxTime < MinTime (the zero state) means no records. Rate
+	// rendering without a window divides by this span.
+	MinTime uint64
+	MaxTime uint64
+	// Records counts matched records folded; Skipped counts matched
+	// records lacking a group or value field; Dropped counts matched
+	// records not attributed because the group table was at MaxGroups —
+	// nonzero Dropped marks the answer as approximate.
+	Records int64
+	Skipped int64
+	Dropped int64
+	Groups  map[GroupKey]*Group
+}
+
+// NewPartial returns an empty partial for a spec.
+func NewPartial(s *Spec) *Partial {
+	return &Partial{Spec: s.String(), MinTime: ^uint64(0), Groups: make(map[GroupKey]*Group)}
+}
+
+// fold attributes one record to its group. Returns false when the
+// group table is full and the key is new (the caller counts Dropped).
+func (p *Partial) fold(key GroupKey, v uint64, sketch bool, maxGroups int) bool {
+	g, ok := p.Groups[key]
+	if !ok {
+		if len(p.Groups) >= maxGroups {
+			return false
+		}
+		g = &Group{Key: key}
+		p.Groups[key] = g
+	}
+	g.observe(v, sketch)
+	return true
+}
+
+// noteTime widens the observed time range.
+func (p *Partial) noteTime(t uint64) {
+	if t < p.MinTime {
+		p.MinTime = t
+	}
+	if t > p.MaxTime {
+		p.MaxTime = t
+	}
+}
+
+// ErrSpecMismatch reports an attempt to merge partials of different
+// aggregate specifications.
+var ErrSpecMismatch = errors.New("agg: partials have different specs")
+
+// Merge folds other into p: groups merge key-wise (counts and sums
+// add, min/max narrow, sketch buckets add), the time range widens,
+// and the record counters add — associative and commutative, the
+// discipline obs.Snapshot.Merge set, so a scatter-gather can fold
+// per-machine partials in whatever order they arrive. Merge never
+// evicts a group: the MaxGroups cap applies only while a machine folds
+// its own records, so merge order cannot change the result.
+func (p *Partial) Merge(other *Partial) error {
+	if other == nil {
+		return nil
+	}
+	if p.Spec != other.Spec {
+		return fmt.Errorf("%w: %q vs %q", ErrSpecMismatch, p.Spec, other.Spec)
+	}
+	if other.MinTime < p.MinTime {
+		p.MinTime = other.MinTime
+	}
+	if other.MaxTime > p.MaxTime {
+		p.MaxTime = other.MaxTime
+	}
+	p.Records += other.Records
+	p.Skipped += other.Skipped
+	p.Dropped += other.Dropped
+	for key, og := range other.Groups {
+		g, ok := p.Groups[key]
+		if !ok {
+			g = &Group{Key: key, Min: og.Min, Max: og.Max}
+			p.Groups[key] = g
+		} else {
+			if og.Count > 0 && (g.Count == 0 || og.Min < g.Min) {
+				g.Min = og.Min
+			}
+			if og.Count > 0 && (g.Count == 0 || og.Max > g.Max) {
+				g.Max = og.Max
+			}
+		}
+		g.Count += og.Count
+		g.Sum += og.Sum
+		if og.hist != nil {
+			if g.hist == nil {
+				g.hist = make([]int64, obs.NumBuckets)
+			}
+			for b, n := range og.hist {
+				g.hist[b] += n
+			}
+		}
+	}
+	return nil
+}
+
+// Binary partial format, version 1. Little-endian throughout:
+//
+//	"DPAG" magic, u16 version,
+//	string spec (canonical),
+//	u64 minTime, u64 maxTime,
+//	i64 records, i64 skipped, i64 dropped,
+//	u32 n groups × (u64 window, u8 nvals × u64 val,
+//	                i64 count, i64 sum, i64 min, i64 max,
+//	                u16 n pairs × (u8 bucket, i64 count)).
+//
+// Strings are u16-length-prefixed. Groups are written in sorted key
+// order, so the encoding of a partial is deterministic — the
+// randomized merge-order tests compare encodings byte for byte. A
+// parser ignores trailing bytes and accepts newer versions by their
+// version-1 prefix, the obs snapshot discipline.
+
+// PartialVersion is the binary format version this package writes.
+const PartialVersion = 1
+
+var partialMagic = [4]byte{'D', 'P', 'A', 'G'}
+
+// ErrPartialCorrupt reports undecodable partial bytes.
+var ErrPartialCorrupt = errors.New("agg: corrupt partial")
+
+// maxPartialGroups bounds the decoded group count against corrupt
+// headers; it is far above any legal MaxGroups times a realistic
+// machine count.
+const maxPartialGroups = 1 << 20
+
+// keyLess orders group keys: window first, then the key values.
+func keyLess(a, b GroupKey) bool {
+	if a.Window != b.Window {
+		return a.Window < b.Window
+	}
+	for i := 0; i < MaxBy; i++ {
+		if a.Vals[i] != b.Vals[i] {
+			return a.Vals[i] < b.Vals[i]
+		}
+	}
+	return false
+}
+
+// sortedGroups returns the groups in canonical key order.
+func (p *Partial) sortedGroups() []*Group {
+	out := make([]*Group, 0, len(p.Groups))
+	for _, g := range p.Groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
+	return out
+}
+
+// nvals returns how many key slots the spec's by-list uses; encoded so
+// a reader does not need the spec to frame the key.
+func nvalsOf(spec string) int {
+	s, err := ParseSpec(spec)
+	if err != nil {
+		return MaxBy
+	}
+	return len(s.By)
+}
+
+// MarshalBinary encodes the partial deterministically in the versioned
+// binary format.
+func (p *Partial) MarshalBinary() []byte {
+	le := binary.LittleEndian
+	b := make([]byte, 0, 64+48*len(p.Groups))
+	b = append(b, partialMagic[:]...)
+	b = le.AppendUint16(b, PartialVersion)
+	b = le.AppendUint16(b, uint16(len(p.Spec)))
+	b = append(b, p.Spec...)
+	b = le.AppendUint64(b, p.MinTime)
+	b = le.AppendUint64(b, p.MaxTime)
+	b = le.AppendUint64(b, uint64(p.Records))
+	b = le.AppendUint64(b, uint64(p.Skipped))
+	b = le.AppendUint64(b, uint64(p.Dropped))
+	nvals := nvalsOf(p.Spec)
+	groups := p.sortedGroups()
+	b = le.AppendUint32(b, uint32(len(groups)))
+	for _, g := range groups {
+		b = le.AppendUint64(b, g.Key.Window)
+		b = append(b, uint8(nvals))
+		for i := 0; i < nvals; i++ {
+			b = le.AppendUint64(b, g.Key.Vals[i])
+		}
+		b = le.AppendUint64(b, uint64(g.Count))
+		b = le.AppendUint64(b, uint64(g.Sum))
+		b = le.AppendUint64(b, uint64(g.Min))
+		b = le.AppendUint64(b, uint64(g.Max))
+		pairs := 0
+		for _, n := range g.hist {
+			if n != 0 {
+				pairs++
+			}
+		}
+		b = le.AppendUint16(b, uint16(pairs))
+		for bucket, n := range g.hist {
+			if n != 0 {
+				b = append(b, uint8(bucket))
+				b = le.AppendUint64(b, uint64(n))
+			}
+		}
+	}
+	return b
+}
+
+// reader is a bounds-checked cursor over partial bytes, the same shape
+// the obs snapshot decoder uses.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = fmt.Errorf("%w: truncated at byte %d", ErrPartialCorrupt, r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// ParsePartial decodes a binary partial. Trailing bytes beyond the
+// known sections are ignored, and newer versions are accepted by
+// their version-1 prefix.
+func ParsePartial(data []byte) (*Partial, error) {
+	r := &reader{b: data}
+	magic := r.take(4)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if [4]byte(magic) != partialMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrPartialCorrupt)
+	}
+	if v := r.u16(); v < 1 {
+		return nil, fmt.Errorf("%w: version %d", ErrPartialCorrupt, v)
+	}
+	p := &Partial{Groups: make(map[GroupKey]*Group)}
+	p.Spec = string(r.take(int(r.u16())))
+	p.MinTime = r.u64()
+	p.MaxTime = r.u64()
+	p.Records = int64(r.u64())
+	p.Skipped = int64(r.u64())
+	p.Dropped = int64(r.u64())
+	ng := r.u32()
+	if ng > maxPartialGroups {
+		return nil, fmt.Errorf("%w: %d groups", ErrPartialCorrupt, ng)
+	}
+	for i := uint32(0); i < ng && r.err == nil; i++ {
+		g := &Group{}
+		g.Key.Window = r.u64()
+		nvals := int(r.u8())
+		if nvals > MaxBy {
+			return nil, fmt.Errorf("%w: group %d has %d key values", ErrPartialCorrupt, i, nvals)
+		}
+		for j := 0; j < nvals; j++ {
+			g.Key.Vals[j] = r.u64()
+		}
+		g.Count = int64(r.u64())
+		g.Sum = int64(r.u64())
+		g.Min = int64(r.u64())
+		g.Max = int64(r.u64())
+		pairs := int(r.u16())
+		for j := 0; j < pairs && r.err == nil; j++ {
+			bucket := int(r.u8())
+			n := int64(r.u64())
+			if bucket >= obs.NumBuckets {
+				return nil, fmt.Errorf("%w: bucket %d", ErrPartialCorrupt, bucket)
+			}
+			if g.hist == nil {
+				g.hist = make([]int64, obs.NumBuckets)
+			}
+			g.hist[bucket] = n
+		}
+		if r.err == nil {
+			p.Groups[g.Key] = g
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return p, nil
+}

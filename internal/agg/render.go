@@ -1,0 +1,141 @@
+package agg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Row is one rendered group: the stable, machine-readable view of a
+// merged partial under its spec (the -json output of dpquery and the
+// table rows of the controller's aggregate query).
+type Row struct {
+	// Window is the window start (cpuTime ms); omitted when the spec
+	// has no window.
+	Window uint64 `json:"window,omitempty"`
+	// Key maps each group-by field to its value, in spec order in the
+	// text rendering.
+	Key map[string]uint64 `json:"key,omitempty"`
+	// Count is the records in the group; Value the operator's answer
+	// (count, sum, min, max, rate/s, or the percentile bound).
+	Count int64   `json:"count"`
+	Value float64 `json:"value"`
+}
+
+// Result pairs a (merged) partial with its spec for rendering.
+type Result struct {
+	Spec    *Spec    `json:"-"`
+	SpecStr string   `json:"spec"`
+	Partial *Partial `json:"-"`
+	Rows    []Row    `json:"rows"`
+	// Records/Skipped/Dropped restate the partial's counters; Dropped
+	// or TopK nonzero means the answer is approximate (docs/query.md,
+	// accuracy notes).
+	Records int64 `json:"records"`
+	Skipped int64 `json:"skipped,omitempty"`
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// NewResult computes the rendered rows of a partial: each group's
+// operator value, sorted — heaviest first with the top-k cut applied
+// for a top spec, canonical key order otherwise.
+func NewResult(s *Spec, p *Partial) *Result {
+	r := &Result{
+		Spec: s, SpecStr: s.String(), Partial: p,
+		Records: p.Records, Skipped: p.Skipped, Dropped: p.Dropped,
+	}
+	groups := p.sortedGroups()
+	rows := make([]Row, 0, len(groups))
+	for _, g := range groups {
+		row := Row{Window: g.Key.Window, Count: g.Count, Value: s.value(g, p)}
+		if len(s.By) > 0 {
+			row.Key = make(map[string]uint64, len(s.By))
+			for i, f := range s.By {
+				row.Key[f] = g.Key.Vals[i]
+			}
+		}
+		rows = append(rows, row)
+	}
+	if s.TopK > 0 {
+		// Heaviest first; the canonical key order of sortedGroups breaks
+		// value ties, so the cut is deterministic.
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].Value > rows[j].Value })
+		if len(rows) > s.TopK {
+			rows = rows[:s.TopK]
+		}
+	}
+	r.Rows = rows
+	return r
+}
+
+// value computes one group's answer under the spec's operator.
+func (s *Spec) value(g *Group, p *Partial) float64 {
+	switch s.Fn {
+	case FnCount:
+		return float64(g.Count)
+	case FnSum:
+		return float64(g.Sum)
+	case FnMin:
+		return float64(g.Min)
+	case FnMax:
+		return float64(g.Max)
+	case FnRate:
+		ms := s.WindowMS
+		if ms == 0 {
+			if p.MaxTime < p.MinTime {
+				return 0
+			}
+			ms = int64(p.MaxTime-p.MinTime) + 1
+		}
+		return float64(g.Count) * 1000 / float64(ms)
+	case FnP50, FnP95, FnP99:
+		hv := g.HistValue()
+		return float64(hv.Quantile(s.Fn.Quantile()))
+	}
+	return 0
+}
+
+// formatValue renders a value in the operator's natural precision:
+// rates keep fractions, everything else is integral.
+func (s *Spec) formatValue(v float64) string {
+	if s.Fn == FnRate {
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// Render writes the result as a readable table: the spec, one row per
+// group (window and group-by columns first, then the value and the
+// record count), and a summary line carrying the counters that mark a
+// degraded or approximate answer.
+func (r *Result) Render(w io.Writer) {
+	s := r.Spec
+	fmt.Fprintf(w, "%s\n", s.String())
+	fmt.Fprintf(w, "%-12s", "")
+	if s.WindowMS > 0 {
+		fmt.Fprintf(w, "%12s ", "window")
+	}
+	for _, f := range s.By {
+		fmt.Fprintf(w, "%12s ", f)
+	}
+	fmt.Fprintf(w, "%14s %10s\n", s.Fn.String(), "count")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s", "")
+		if s.WindowMS > 0 {
+			fmt.Fprintf(w, "%12d ", row.Window)
+		}
+		for _, f := range s.By {
+			fmt.Fprintf(w, "%12d ", row.Key[f])
+		}
+		fmt.Fprintf(w, "%14s %10d\n", s.formatValue(row.Value), row.Count)
+	}
+	fmt.Fprintf(w, "groups=%d records=%d", len(r.Partial.Groups), r.Records)
+	if r.Skipped > 0 {
+		fmt.Fprintf(w, " skipped=%d", r.Skipped)
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, " dropped=%d (approximate: group cap hit)", r.Dropped)
+	}
+	fmt.Fprintf(w, "\n")
+}

@@ -1,0 +1,131 @@
+package agg
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseSpecValid(t *testing.T) {
+	cases := []struct {
+		line string
+		want Spec
+	}{
+		{"agg count", Spec{Fn: FnCount}},
+		{"agg count by machine", Spec{Fn: FnCount, By: []string{"machine"}}},
+		{"agg count by machine window 1s", Spec{Fn: FnCount, By: []string{"machine"}, WindowMS: 1000}},
+		{"agg rate by machine window 500ms", Spec{Fn: FnRate, By: []string{"machine"}, WindowMS: 500}},
+		{"agg rate window 2m", Spec{Fn: FnRate, WindowMS: 120_000}},
+		{"agg sum(msgLength) by machine,pid", Spec{Fn: FnSum, Field: "msgLength", By: []string{"machine", "pid"}}},
+		{"agg min(msgLength)", Spec{Fn: FnMin, Field: "msgLength"}},
+		{"agg max(msgLength) by type", Spec{Fn: FnMax, Field: "msgLength", By: []string{"type"}}},
+		{"agg p50(msgLength) by machine", Spec{Fn: FnP50, Field: "msgLength", By: []string{"machine"}}},
+		{"agg p95(msgLength)", Spec{Fn: FnP95, Field: "msgLength"}},
+		{"agg p99(msgLength) window 250", Spec{Fn: FnP99, Field: "msgLength", WindowMS: 250}},
+		{"top 10 pid by sum(msgLength)", Spec{Fn: FnSum, Field: "msgLength", By: []string{"pid"}, TopK: 10}},
+		{"top 3 machine by count window 1s", Spec{Fn: FnCount, By: []string{"machine"}, TopK: 3, WindowMS: 1000}},
+		{"  agg   count   by   machine  ", Spec{Fn: FnCount, By: []string{"machine"}}},
+	}
+	for _, tc := range cases {
+		s, err := ParseSpec(tc.line)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.line, err)
+			continue
+		}
+		if s.Fn != tc.want.Fn || s.Field != tc.want.Field || s.WindowMS != tc.want.WindowMS || s.TopK != tc.want.TopK {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.line, s, tc.want)
+		}
+		if len(s.By) != len(tc.want.By) {
+			t.Errorf("ParseSpec(%q) by = %v, want %v", tc.line, s.By, tc.want.By)
+			continue
+		}
+		for i := range s.By {
+			if s.By[i] != tc.want.By[i] {
+				t.Errorf("ParseSpec(%q) by = %v, want %v", tc.line, s.By, tc.want.By)
+			}
+		}
+	}
+}
+
+func TestParseSpecInvalid(t *testing.T) {
+	lines := []string{
+		"",
+		"agg",
+		"select count",
+		"agg bogus",
+		"agg count(pid)",                        // count takes no field
+		"agg rate(pid)",                         // rate takes no field
+		"agg sum",                               // sum needs a field
+		"agg sum(",                              // unclosed
+		"agg sum(msgLength",                     // unclosed
+		"agg sum()",                             // empty field
+		"agg sum(9bad)",                         // bad identifier
+		"agg count by",                          // truncated by
+		"agg count by 9bad",                     // bad group field
+		"agg count by a,b,c,d,e",                // > MaxBy
+		"agg count by machine by pid",           // duplicate by
+		"agg count window",                      // truncated window
+		"agg count window 0",                    // zero-width
+		"agg count window 0s",                   // zero-width
+		"agg count window -5ms",                 // negative
+		"agg count window forever",              // not a number
+		"agg count window 99999999999999999999", // overflow
+		"agg count window 1s window 2s",         // duplicate window
+		"agg count extra",                       // trailing junk
+		"top",                                   // truncated top
+		"top 10",                                // truncated top
+		"top 10 pid",                            // missing by
+		"top 10 pid by",                         // missing op
+		"top 0 pid by count",                    // k < 1
+		"top -3 pid by count",                   // negative k
+		"top 99999 pid by count",                // k > MaxTopK
+		"top x pid by count",                    // non-numeric k
+		"top 10 9bad by count",                  // bad group field
+		"top 10 pid from count",                 // wrong keyword
+		"top 10 pid by count by machine",        // top already names its group
+	}
+	for _, line := range lines {
+		if _, err := ParseSpec(line); !errors.Is(err, ErrSpec) {
+			t.Errorf("ParseSpec(%q) = %v, want ErrSpec", line, err)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	lines := []string{
+		"agg count",
+		"agg count by machine window 1s",
+		"agg sum(msgLength) by machine,pid",
+		"agg p95(msgLength) by type window 250ms",
+		"top 10 pid by sum(msgLength)",
+		"top 5 machine by count window 2s",
+	}
+	for _, line := range lines {
+		s, err := ParseSpec(line)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", line, err)
+		}
+		s2, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", s.String(), line, err)
+		}
+		if s.String() != s2.String() {
+			t.Errorf("round trip: %q -> %q -> %q", line, s.String(), s2.String())
+		}
+	}
+}
+
+func TestIsAggLine(t *testing.T) {
+	cases := map[string]bool{
+		"agg count by machine": true,
+		"top 10 pid by count":  true,
+		"  agg count":          true,
+		"machine=3,type=1":     false,
+		"aggregate count":      false,
+		"":                     false,
+	}
+	for line, want := range cases {
+		if got := IsAggLine(line); got != want {
+			t.Errorf("IsAggLine(%q) = %v, want %v", line, got, want)
+		}
+	}
+}

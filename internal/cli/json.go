@@ -1,0 +1,17 @@
+// Package cli holds small helpers shared by the command-line tools
+// (cmd/dpquery, cmd/dpstat, cmd/dpmon).
+package cli
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON emits v as indented JSON with a trailing newline — the
+// shared -json machine-readable output mode of the tools, so scripts
+// parse one shape whichever tool produced it.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

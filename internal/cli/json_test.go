@@ -1,0 +1,26 @@
+package cli
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	v := map[string]any{"spec": "agg count by machine", "records": 40}
+	if err := WriteJSON(&b, v); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("no trailing newline")
+	}
+	var back map[string]any
+	if err := json.Unmarshal([]byte(out), &back); err != nil {
+		t.Fatalf("output does not re-parse: %v", err)
+	}
+	if back["spec"] != "agg count by machine" {
+		t.Fatalf("round trip lost data: %v", back)
+	}
+}

@@ -64,21 +64,42 @@ type hostResult struct {
 	Err  error
 }
 
+// target is one fan-out destination: the host whose daemon receives
+// the request, and a label the report names the slot by. The label and
+// host differ when several filters (distinct targets) live on one
+// machine — an aggregate query fans out per filter, not per host.
+type target struct {
+	Label string
+	Host  string
+}
+
 // broadcast fans one request per host out concurrently and gathers
 // the replies into per-host slots, returned in hosts order so report
 // output stays deterministic. Each slot is bounded by the exchange
 // retry policy, so the gather always completes; a broadcast with any
 // failed slot counts under broadcast.degraded.
 func (c *Controller) broadcast(hosts []string, mk func(host string) *daemon.WireMsg) []hostResult {
-	out := make([]hostResult, len(hosts))
-	var wg sync.WaitGroup
+	ts := make([]target, len(hosts))
 	for i, h := range hosts {
+		ts[i] = target{Label: h, Host: h}
+	}
+	return c.broadcastTargets(ts, func(t target) *daemon.WireMsg { return mk(t.Host) })
+}
+
+// broadcastTargets is the general scatter-gather: one request per
+// target, slots in target order, labels naming the slots. The degraded
+// discipline is broadcast's: every slot resolves within the retry
+// policy's deadline, error slots included.
+func (c *Controller) broadcastTargets(targets []target, mk func(t target) *daemon.WireMsg) []hostResult {
+	out := make([]hostResult, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
 		wg.Add(1)
-		go func(i int, h string) {
+		go func(i int, t target) {
 			defer wg.Done()
-			rep, err := c.exchange(h, mk(h))
-			out[i] = hostResult{Host: h, Rep: rep, Err: err}
-		}(i, h)
+			rep, err := c.exchange(t.Host, mk(t))
+			out[i] = hostResult{Host: t.Label, Rep: rep, Err: err}
+		}(i, t)
 	}
 	wg.Wait()
 	for _, r := range out {

@@ -6,7 +6,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"dpm/internal/agg"
 	"dpm/internal/daemon"
 	"dpm/internal/filter"
 	"dpm/internal/fsys"
@@ -37,6 +39,8 @@ func (c *Controller) cmdHelp() {
   stdin jobname machine pid word...                  send input to a process
   getlog filtername destfile                         retrieve a filter's trace log (incremental)
   query filtername destfile [rule...]                query a filter's event store
+  query name|all destfile [rule...] agg ...          aggregate at the data (see docs/query.md)
+  watch rounds intervalms command...                 re-run a command on an interval
   source filename                                    run a command script
   sink [filename]                                    redirect command output
   die                                                exit the controller
@@ -890,10 +894,22 @@ func (c *Controller) cmdGetLog(args []string) {
 // With no rules, every stored record is returned. The matching records
 // land in destfile in trace-log format; the match statistics print to
 // the terminal.
+//
+// A trailing aggregate clause ("agg ..." or "top ...", the extended
+// syntax of docs/query.md) switches to push-down evaluation: each
+// filter's daemon folds its matching records into a partial aggregate
+// and only the partial crosses the network — cmdQueryAgg. There the
+// filtername may be 'all', fanning the query out over every filter.
 func (c *Controller) cmdQuery(args []string) {
 	if len(args) < 2 {
-		c.printf("usage: query filtername destfile [rule...]\n")
+		c.printf("usage: query filtername|all destfile [rule...] [agg ...|top k ...]\n")
 		return
+	}
+	for i := 2; i < len(args); i++ {
+		if args[i] == "agg" || args[i] == "top" {
+			c.cmdQueryAgg(args, i)
+			return
+		}
 	}
 	c.mu.Lock()
 	f, ok := c.filters[args[0]]
@@ -927,6 +943,116 @@ func (c *Controller) cmdQuery(args []string) {
 		return
 	}
 	c.printf("query '%s': %s\n", f.Name, stats)
+}
+
+// cmdQueryAgg runs an aggregate query pushed down to the data: one
+// TAggReq per target filter (all of them for 'all'), fanned out as a
+// broadcast, each daemon returning a compact partial aggregate. The
+// partials merge associatively in arrival-slot order — a crashed or
+// partitioned machine contributes an error slot within the retry
+// deadline and the merged answer is degraded, never hung, the cmdStats
+// discipline. The rendered table lands in destfile; the reporting
+// summary prints to the terminal.
+func (c *Controller) cmdQueryAgg(args []string, specAt int) {
+	name, dest := args[0], args[1]
+	rules := strings.Join(args[2:specAt], "\n")
+	spec, err := agg.ParseSpec(strings.Join(args[specAt:], " "))
+	if err != nil {
+		c.printf("query: %v\n", err)
+		return
+	}
+	c.mu.Lock()
+	var filters []*FilterInfo
+	if name == "all" {
+		for _, n := range c.filterOrder {
+			filters = append(filters, c.filters[n])
+		}
+	} else if f, ok := c.filters[name]; ok {
+		filters = append(filters, f)
+	}
+	c.mu.Unlock()
+	if len(filters) == 0 {
+		c.printf("no filter '%s'\n", name)
+		return
+	}
+	targets := make([]target, len(filters))
+	for i, f := range filters {
+		targets[i] = target{Label: f.Name + "@" + f.Machine, Host: f.Machine}
+	}
+	byLabel := make(map[string]*FilterInfo, len(filters))
+	for i, f := range filters {
+		byLabel[targets[i].Label] = f
+	}
+	res := c.broadcastTargets(targets, func(t target) *daemon.WireMsg {
+		return (&daemon.AggReq{
+			Dir:   filter.StorePath(byLabel[t.Label].Name),
+			Rules: rules,
+			Spec:  spec.String(),
+			UID:   c.uid,
+		}).Wire()
+	})
+	merged := agg.NewPartial(spec)
+	var reporting, missing []string
+	for _, r := range res {
+		if r.Err != nil || !r.Rep.OK() {
+			missing = append(missing, r.Host)
+			continue
+		}
+		p, perr := agg.ParsePartial([]byte(r.Rep.Data))
+		if perr != nil {
+			missing = append(missing, r.Host)
+			continue
+		}
+		if merr := merged.Merge(p); merr != nil {
+			missing = append(missing, r.Host)
+			continue
+		}
+		reporting = append(reporting, r.Host)
+	}
+	c.printf("agg '%s': %d/%d filters reporting (%s)\n",
+		spec.String(), len(reporting), len(targets), strings.Join(reporting, " "))
+	if len(missing) > 0 {
+		c.printf("agg: degraded, missing %s\n", strings.Join(missing, " "))
+	}
+	var buf strings.Builder
+	agg.NewResult(spec, merged).Render(&buf)
+	if !strings.HasPrefix(dest, "/") {
+		dest = "/usr/" + dest
+	}
+	if err := c.machine.FS().Create(dest, c.uid, fsys.PrivateMode, []byte(buf.String())); err != nil {
+		c.printf("query: %v\n", err)
+	}
+}
+
+// cmdWatch re-runs one command on an interval: "watch rounds
+// intervalms command...". It drives the live aggregate mode of dpmon —
+// a periodically refreshed cluster-wide aggregate — but wraps any
+// command. Watch does not nest.
+func (c *Controller) cmdWatch(args []string, depth int) {
+	if len(args) < 3 {
+		c.printf("usage: watch rounds intervalms command...\n")
+		return
+	}
+	rounds, err1 := strconv.Atoi(args[0])
+	interval, err2 := strconv.Atoi(args[1])
+	if err1 != nil || err2 != nil || rounds < 1 || rounds > 100000 || interval < 0 {
+		c.printf("usage: watch rounds intervalms command...\n")
+		return
+	}
+	if strings.EqualFold(args[2], "watch") {
+		c.printf("watch does not nest\n")
+		return
+	}
+	line := strings.Join(args[2:], " ")
+	for i := 0; i < rounds; i++ {
+		if i > 0 {
+			time.Sleep(time.Duration(interval) * time.Millisecond)
+		}
+		c.printf("watch %d/%d:\n", i+1, rounds)
+		if !c.exec(line, depth+1) {
+			return
+		}
+	}
 }
 
 func (c *Controller) cmdSource(args []string, depth int) {

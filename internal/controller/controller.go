@@ -239,7 +239,9 @@ func validToken(tok string) bool {
 // validRuleToken checks the looser lexical rules of query selection
 // rules: beyond the literal characters, the Figure 3.3/3.4 template
 // syntax needs its operators ('=', '!', '<', '>'), the wildcard '*',
-// the discard marker '#', and the condition separator ','.
+// the discard marker '#', and the condition separator ','. The
+// aggregate extension adds the operator-argument parentheses
+// ("sum(msgLength)").
 func validRuleToken(tok string) bool {
 	for _, r := range tok {
 		switch {
@@ -249,6 +251,7 @@ func validRuleToken(tok string) bool {
 		case r == '/' || r == '.' || r == '-':
 		case r == '=' || r == '!' || r == '<' || r == '>':
 		case r == '*' || r == '#' || r == ',':
+		case r == '(' || r == ')':
 		default:
 			return false
 		}
@@ -268,12 +271,18 @@ func (c *Controller) exec(line string, depth int) bool {
 	if len(fields) == 0 {
 		return true
 	}
-	isQuery := strings.EqualFold(fields[0], "query")
+	// Query selection rules and aggregate specs (everything after
+	// "query name dest") use the template syntax, whose operators fall
+	// outside the section 4.3 literal alphabet. A query wrapped in
+	// watch shifts by the wrapper's two parameters.
+	queryAt := -1
+	if strings.EqualFold(fields[0], "query") {
+		queryAt = 0
+	} else if strings.EqualFold(fields[0], "watch") && len(fields) >= 4 && strings.EqualFold(fields[3], "query") {
+		queryAt = 3
+	}
 	for i, tok := range fields {
-		// Query selection rules (everything after "query name dest")
-		// use the template syntax, whose operators fall outside the
-		// section 4.3 literal alphabet.
-		if isQuery && i >= 3 {
+		if queryAt >= 0 && i >= queryAt+3 {
 			if !validRuleToken(tok) {
 				c.printf("bad token '%s'\n", tok)
 				return true
@@ -326,6 +335,8 @@ func (c *Controller) exec(line string, depth int) bool {
 		c.cmdGetLog(args)
 	case "query":
 		c.cmdQuery(args)
+	case "watch":
+		c.cmdWatch(args, depth)
 	case "source":
 		c.cmdSource(args, depth)
 	case "sink":

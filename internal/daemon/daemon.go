@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"dpm/internal/agg"
 	"dpm/internal/kernel"
 	"dpm/internal/meter"
 	"dpm/internal/obs"
@@ -262,6 +263,12 @@ func (d *daemonState) handle(w *WireMsg) *Reply {
 			return &Reply{Type: TQueryRep, Status: err.Error()}
 		}
 		return d.handleQuery(req)
+	case TAggReq:
+		req, err := ParseAggReq(w)
+		if err != nil {
+			return &Reply{Type: TAggRep, Status: err.Error()}
+		}
+		return d.handleAgg(req)
 	case TStatsReq:
 		if _, err := ParseStatsReq(w); err != nil {
 			return &Reply{Type: TStatsRep, Status: err.Error()}
@@ -560,6 +567,31 @@ func (d *daemonState) handleQuery(req *QueryReq) *Reply {
 		b.WriteByte('\n')
 	}
 	return &Reply{Type: TQueryRep, Status: "ok", Data: b.String()}
+}
+
+// handleAgg runs an aggregate query against an event store on this
+// machine and ships back the bounded partial aggregate instead of the
+// matching records — the push-down that turns a cluster-wide group-by
+// into kilobytes per machine. Reply Data is the binary partial, Aux
+// the scan-statistics line.
+func (d *daemonState) handleAgg(req *AggReq) *Reply {
+	aq, err := agg.Compile(req.Rules + "\n" + req.Spec)
+	if err != nil {
+		return &Reply{Type: TAggRep, Status: err.Error()}
+	}
+	aq.Sel.NoPrune = req.NoPrune
+	rd, err := store.OpenReader(store.NewFsysBackend(d.p.Machine().FS(), req.UID, req.Dir))
+	if err != nil {
+		return &Reply{Type: TAggRep, Status: err.Error()}
+	}
+	reg := d.p.Machine().Obs()
+	p, stats, err := agg.Eval(rd, aq, agg.Options{Workers: req.Workers, Obs: reg})
+	if err != nil {
+		return &Reply{Type: TAggRep, Status: err.Error()}
+	}
+	data := p.MarshalBinary()
+	reg.Counter("agg.partial_bytes").Add(int64(len(data)))
+	return &Reply{Type: TAggRep, Status: "ok", Data: string(data), Aux: stats.String()}
 }
 
 // handleStats snapshots this machine's metrics registry and ships it

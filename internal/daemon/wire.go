@@ -82,6 +82,15 @@ const (
 	// metrics exist.
 	TStatsReq MsgType = 35
 	TStatsRep MsgType = 36
+	// TAggReq/TAggRep run an aggregate query (group-by, windows, top-k)
+	// against an event store on the daemon's machine — the aggregation
+	// push-down path. The daemon folds matching records into one bounded
+	// partial aggregate; the reply's Data carries the agg binary partial
+	// (docs/query.md), kilobytes where TQueryRep would ship every record.
+	// Partials merge associatively, so the controller folds per-machine
+	// replies in arrival order.
+	TAggReq MsgType = 37
+	TAggRep MsgType = 38
 )
 
 var typeNames = map[MsgType]string{
@@ -98,6 +107,7 @@ var typeNames = map[MsgType]string{
 	TStdinReq: "stdin request", TStdinRep: "stdin reply",
 	TQueryReq: "query request", TQueryRep: "query reply",
 	TStatsReq: "stats request", TStatsRep: "stats reply",
+	TAggReq: "agg request", TAggRep: "agg reply",
 }
 
 func (t MsgType) String() string {
@@ -375,6 +385,46 @@ func ParseQueryReq(w *WireMsg) (*QueryReq, error) {
 		UID:     w.num(2),
 		NoPrune: w.str(3) == "1",
 		Workers: w.num(4),
+	}, nil
+}
+
+// AggReq asks a daemon to run an aggregate query against an event
+// store on its machine. Rules use the Figure 3.3–3.4 templates syntax;
+// Spec is one aggregate line in the extended syntax ("agg ..." or
+// "top ..."). The reply's Data carries the binary partial aggregate
+// and its Aux the scan-statistics line.
+type AggReq struct {
+	Dir     string // store directory on the daemon's machine
+	Rules   string // selection rules; empty selects everything
+	Spec    string // aggregate specification line
+	UID     int
+	NoPrune bool // diagnostic: scan every segment
+	Workers int  // segment-fold parallelism; 0 or 1 is sequential
+}
+
+// Wire encodes the request, Workers trailing as in QueryReq.
+func (r *AggReq) Wire() *WireMsg {
+	noPrune := "0"
+	if r.NoPrune {
+		noPrune = "1"
+	}
+	return &WireMsg{Type: TAggReq, Fields: []string{
+		r.Dir, r.Rules, r.Spec, strconv.Itoa(r.UID), noPrune, strconv.Itoa(r.Workers),
+	}}
+}
+
+// ParseAggReq decodes an aggregate query request body.
+func ParseAggReq(w *WireMsg) (*AggReq, error) {
+	if w.Type != TAggReq {
+		return nil, fmt.Errorf("%w: not an agg request", ErrWireCorrupt)
+	}
+	return &AggReq{
+		Dir:     w.str(0),
+		Rules:   w.str(1),
+		Spec:    w.str(2),
+		UID:     w.num(3),
+		NoPrune: w.str(4) == "1",
+		Workers: w.num(5),
 	}, nil
 }
 

@@ -144,6 +144,35 @@ func TestQueryReqRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAggReqRoundTrip(t *testing.T) {
+	req := &AggReq{
+		Dir: "/usr/tmp/f1.store", Rules: "machine=2,cpuTime>=100\n",
+		Spec: "agg sum(msgLength) by machine window 1s",
+		UID:  7, NoPrune: true, Workers: 8,
+	}
+	got, err := ParseAggReq(req.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, req)
+	}
+	// A request from an old peer lacks the trailing Workers field; it
+	// must parse as sequential, not fail — the QueryReq discipline.
+	old := req.Wire()
+	old.Fields = old.Fields[:5]
+	got, err = ParseAggReq(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workers != 0 || got.Spec != req.Spec || !got.NoPrune {
+		t.Fatalf("legacy parse: %+v", got)
+	}
+	if _, err := ParseAggReq(&WireMsg{Type: TQueryReq}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+}
+
 func TestStatsReqRoundTrip(t *testing.T) {
 	req := &StatsReq{UID: 42}
 	got, err := ParseStatsReq(req.Wire())

@@ -12,6 +12,18 @@ func FuzzParseRules(f *testing.F) {
 	f.Add("machine=5, cpuTime<10000\n")
 	f.Add("machine=#*, type=1, pid=#*, msgLength>=512\ntype=8, sockName=peerName\n")
 	f.Add("a!=b, c>=#3")
+	// Aggregate-syntax lines (the extended query grammar of
+	// internal/agg) are not selection rules; they reach this parser when
+	// a query text is mis-split, so it must reject them cleanly —
+	// including truncated clauses, oversize k, and zero-width windows.
+	f.Add("agg count by machine window 1s\n")
+	f.Add("top 10 pid by sum(msgLength)\n")
+	f.Add("agg count by\n")
+	f.Add("agg count window\n")
+	f.Add("top 10 pid by\n")
+	f.Add("top 1000000 pid by count\n")
+	f.Add("agg count window 0\n")
+	f.Add("machine=3\nagg sum(msgLength) by machine,pid window 0ms\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		rules, err := ParseRules([]byte(text))
 		if err != nil {

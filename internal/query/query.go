@@ -291,6 +291,29 @@ type Result struct {
 	Stats  Stats
 }
 
+// Admitted returns the segments the query must scan — every segment
+// the footer-pruning envelope cannot rule out — and a Stats with the
+// Segments/Pruned counts of that decision. Order is shard order, then
+// rotation order within a shard. This is the entry point aggregation
+// push-down uses: an aggregate fold is order-independent, so it scans
+// admitted segments directly instead of paying the cpuTime heap merge
+// the record-shipping path needs.
+func Admitted(rd *store.Reader, q *Query) ([]*store.ReaderSegment, Stats) {
+	var segs []*store.ReaderSegment
+	var stats Stats
+	for _, shard := range rd.Shards() {
+		for _, rs := range shard {
+			stats.Segments++
+			if rs.Sealed && !q.Admits(rs.Index) {
+				stats.Pruned++
+				continue
+			}
+			segs = append(segs, rs)
+		}
+	}
+	return segs, stats
+}
+
 // shardCursor streams one shard's matching events in cpuTime order,
 // loading admitted segments lazily: a segment is parsed only when the
 // stream cannot otherwise prove its next event is safe to emit.

@@ -25,6 +25,10 @@ go test -run '^$' -bench 'BenchmarkStoreIngestBatch$' -benchmem -benchtime=10000
 # counts for the same comparability reason as the ingest pair.
 go test -run '^$' -bench 'BenchmarkFilterEngineParallel' -benchmem -benchtime=100000x . >>"$tmp"
 go test -run '^$' -bench 'BenchmarkQueryParallel' -benchmem -benchtime=20x . >>"$tmp"
+# Aggregation push-down: the pushdown/ship-records sub-benchmarks each
+# report a bytes_moved metric; their ratio is the wire-traffic
+# reduction claimed in EXPERIMENTS.md.
+go test -run '^$' -bench 'BenchmarkAggPushdown' -benchmem -benchtime=20x ./internal/agg/ >>"$tmp"
 
 # Fail loudly rather than archive an empty or lying file: every bench
 # must have produced a result line, and none may have collapsed to zero
@@ -45,15 +49,16 @@ awk '
 BEGIN { print "{"; print "  \"generated_by\": \"scripts/bench_filter.sh\","; print "  \"benchmarks\": [" }
 /^Benchmark/ {
     name = $1; iters = $2
-    ns = "null"; mbs = "null"; bop = "null"; aop = "null"
+    ns = "null"; mbs = "null"; bop = "null"; aop = "null"; bmv = "null"
     for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns  = $i
-        if ($(i+1) == "MB/s")      mbs = $i
-        if ($(i+1) == "B/op")      bop = $i
-        if ($(i+1) == "allocs/op") aop = $i
+        if ($(i+1) == "ns/op")       ns  = $i
+        if ($(i+1) == "MB/s")        mbs = $i
+        if ($(i+1) == "B/op")        bop = $i
+        if ($(i+1) == "allocs/op")   aop = $i
+        if ($(i+1) == "bytes_moved") bmv = $i
     }
     if (n++) printf ",\n"
-    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, mbs, bop, aop
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"bytes_moved\": %s}", name, iters, ns, mbs, bop, aop, bmv
 }
 END { print ""; print "  ]"; print "}" }
 ' "$tmp" >"$out"
