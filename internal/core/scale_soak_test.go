@@ -1,0 +1,259 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpm/internal/filter"
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+	"dpm/internal/netsim"
+	"dpm/internal/workloads"
+)
+
+// TestScaleSoak is the cluster-density soak: it boots DPM_SCALE_MACHINES
+// simulated machines (default 1000) — every one metered — drives
+// sustained cross-machine datagram traffic through the delivery fabric
+// and the meter streams through real filter engines, and pins the two
+// resource ceilings the event-driven scheduler and batched fabric
+// exist to provide:
+//
+//   - goroutines sub-linear in machine count (tasks and detached
+//     processes hold none; only the scheduler pool, the fabric, and
+//     the runtime remain), and
+//   - idle heap at most 64 KiB per machine.
+//
+// It lives in package core_test so it can borrow the workloads traffic
+// shapes without an import cycle. CI runs it race-off under a hard
+// timeout; see .github/workflows/ci.yml.
+func TestScaleSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale soak")
+	}
+	machines := 1000
+	if v := os.Getenv("DPM_SCALE_MACHINES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 8 {
+			t.Fatalf("bad DPM_SCALE_MACHINES %q", v)
+		}
+		machines = n
+	}
+	const (
+		filterMachines = 4
+		sinkPort       = 7100
+		uid            = 100
+	)
+	leaves := machines - filterMachines
+
+	var baseMem runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&baseMem)
+	baseGoroutines := runtime.NumGoroutine()
+
+	bootStart := time.Now()
+	c := kernel.NewCluster(kernel.Config{})
+	c.AddNetwork("ether0", netsim.WithLatency(2*time.Millisecond, time.Millisecond))
+	defer c.Shutdown()
+
+	// Filter tier: each filter machine runs one event-driven collector
+	// task that accepts meter-stream connections and runs every byte
+	// through a compiled filter engine.
+	var recordsFiltered atomic.Int64
+	filterNames := make([]meter.Name, filterMachines)
+	colReady := make([]*atomic.Bool, filterMachines)
+	for f := 0; f < filterMachines; f++ {
+		fm, err := c.AddMachine(fmt.Sprintf("filter-%d", f), nil, "ether0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := filter.NewEngine([]byte(filter.StandardDescriptions), []byte("pid>=0\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		colReady[f] = new(atomic.Bool)
+		filterNames[f] = meter.InetName(fm.PrimaryHostID(), 7200)
+		if _, err := fm.SpawnTask(0, "collector", newCollectorTask(eng, 7200, colReady[f], &recordsFiltered)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The listener is created by the collector's own first step (Park
+	// watches the task's own descriptors); wait for every tier member
+	// to be accepting before the leaves dial in.
+	for f, ready := range colReady {
+		deadline := time.Now().Add(5 * time.Second)
+		for !ready.Load() {
+			if time.Now().After(deadline) {
+				t.Fatalf("collector %d never started listening", f)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Leaf tier: every leaf machine runs a metered traffic source and a
+	// sink, both as tasks. Sources send to the next leaf's sink — a
+	// ring of cross-machine datagrams through the fabric — and their
+	// syscalls are metered to one of the filter machines.
+	stats := &workloads.TrafficStats{}
+	perLeaf := 5000.0 / float64(leaves) // ~5k datagrams/s offered, whatever the scale
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+	leafMachines := make([]*kernel.Machine, leaves)
+	for i := 0; i < leaves; i++ {
+		m, err := c.AddMachine(fmt.Sprintf("leaf-%04d", i), nil, "ether0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.AddAccount(uid, "user")
+		leafMachines[i] = m
+	}
+	shape := workloads.Steady{PerSec: perLeaf}
+	for i, m := range leafMachines {
+		if _, err := m.SpawnTask(uid, "sink", workloads.NewSinkTask(sinkPort, stats)); err != nil {
+			t.Fatal(err)
+		}
+		dest := meter.InetName(leafMachines[(i+1)%leaves].PrimaryHostID(), sinkPort)
+		gen, err := m.SpawnTask(uid, "gen", workloads.NewTrafficTask(shape, dest, 64, stats))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Meter the source's send/receive traffic to a filter machine,
+		// exactly as setmeter(2) wires a monitored process. Immediate
+		// delivery, not the 8-message kernel buffer: at 10k machines a
+		// leaf offers well under one datagram per second, and a buffered
+		// meter stream would not flush once inside the soak window.
+		root, err := m.SpawnDetached(0, "root")
+		if err != nil {
+			t.Fatal(err)
+		}
+		msfd, err := root.Socket(meter.AFInet, kernel.SockStream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := root.Connect(msfd, filterNames[i%filterMachines]); err != nil {
+			t.Fatal(err)
+		}
+		if err := root.Setmeter(gen.PID(), int(meter.MSend|meter.MReceive|meter.MImmediate), msfd); err != nil {
+			t.Fatal(err)
+		}
+		if err := root.Close(msfd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bootMS := time.Since(bootStart).Milliseconds()
+
+	// Idle ceiling: everything is booted and parked; the heap bill per
+	// machine must fit the 64 KiB budget.
+	runtime.GC()
+	var idleMem runtime.MemStats
+	runtime.ReadMemStats(&idleMem)
+	idlePerMachine := int64(idleMem.HeapAlloc-baseMem.HeapAlloc) / int64(machines)
+	if idlePerMachine > 64*1024 {
+		t.Fatalf("idle heap %d bytes/machine, budget is 64 KiB", idlePerMachine)
+	}
+
+	// Goroutine ceiling: scheduler pool + fabric + runtime, regardless
+	// of machine count.
+	grew := runtime.NumGoroutine() - baseGoroutines
+	if grew > 128 || grew > machines/4 {
+		t.Fatalf("%d machines grew goroutines by %d: not sub-linear", machines, grew)
+	}
+
+	// Soak: sustained traffic through fabric and filters.
+	soak := 3 * time.Second
+	deadline := time.Now().Add(soak)
+	for time.Now().Before(deadline) {
+		time.Sleep(100 * time.Millisecond)
+	}
+	received := stats.Received.Load()
+	sent := stats.Sent.Load()
+	filtered := recordsFiltered.Load()
+	if received < int64(leaves) {
+		t.Fatalf("soak moved %d datagrams end to end (sent %d), want >= %d", received, sent, leaves)
+	}
+	if filtered < int64(leaves) {
+		t.Fatalf("filters processed %d meter records, want >= %d", filtered, leaves)
+	}
+
+	runtime.GC()
+	var soakMem runtime.MemStats
+	runtime.ReadMemStats(&soakMem)
+	soakPerMachine := int64(soakMem.HeapAlloc-baseMem.HeapAlloc) / int64(machines)
+
+	t.Logf("machines=%d boot_ms=%d idle_heap_per_machine=%d soak_heap_per_machine=%d goroutines_grew=%d sent=%d received=%d filtered=%d throughput=%.0f/s",
+		machines, bootMS, idlePerMachine, soakPerMachine, grew, sent, received, filtered,
+		float64(received)/soak.Seconds())
+}
+
+// newCollectorTask builds the filter machine's event-driven ingest: a
+// task that listens for meter-stream connections, accepts every one,
+// and runs the bytes through a filter engine, parking on all of its
+// sockets between arrivals. The listener is created inside the task's
+// first step because Park resolves descriptors through the task's own
+// process. One goroutine-free process stands where the seed spent a
+// drainer goroutine per connection.
+func newCollectorTask(eng *filter.Engine, port uint16, ready *atomic.Bool, processed *atomic.Int64) kernel.TaskFunc {
+	var (
+		lfd     int
+		init    bool
+		conns   []int
+		carries map[int][]byte
+		batch   filter.Batch
+	)
+	carries = make(map[int][]byte)
+	return func(tk *kernel.Task) kernel.Poll {
+		p := tk.Proc()
+		if !init {
+			var err error
+			if lfd, err = p.Socket(meter.AFInet, kernel.SockStream); err != nil {
+				return kernel.PollDone
+			}
+			if err := p.BindPort(lfd, port); err != nil {
+				return kernel.PollDone
+			}
+			if err := p.Listen(lfd, 1024); err != nil {
+				return kernel.PollDone
+			}
+			ready.Store(true)
+			init = true
+		}
+		for {
+			conn, _, err := p.TryAccept(lfd)
+			if err != nil {
+				if errors.Is(err, kernel.ErrWouldBlock) {
+					break
+				}
+				return kernel.PollDone
+			}
+			conns = append(conns, conn)
+		}
+		for _, fd := range conns {
+			for {
+				data, _, err := p.TryRecvFrom(fd, 65536)
+				if err != nil {
+					break // would-block, or the peer machine went away
+				}
+				buf := data
+				if carry := carries[fd]; len(carry) > 0 {
+					buf = append(carry, data...)
+				}
+				before := eng.Received
+				batch.Reset()
+				rest, err := eng.ProcessBatch(buf, &batch)
+				if err != nil {
+					carries[fd] = nil
+					break
+				}
+				processed.Add(int64(eng.Received - before))
+				carries[fd] = append(carries[fd][:0], rest...)
+			}
+		}
+		return tk.Park(append([]int{lfd}, conns...)...)
+	}
+}

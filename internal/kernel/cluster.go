@@ -27,7 +27,22 @@ type Config struct {
 	// whose *timing* is under study (pipelines, starvation) set a
 	// small scale (e.g. 0.01) so execution paces out.
 	ComputeWallScale float64
+	// SchedWorkers is the size of the cluster's task-scheduler worker
+	// pool (Machine.SpawnTask); zero uses min(8, max(2, GOMAXPROCS)).
+	SchedWorkers int
+	// DgramQueueCap bounds each socket's queue of undelivered
+	// datagrams: deliveries beyond it are shed (counted in
+	// mem.shed_dgrams) so one unread socket cannot grow a machine's
+	// footprint without limit. Zero uses DefaultDgramQueueCap; a
+	// negative value removes the bound.
+	DgramQueueCap int
 }
+
+// DefaultDgramQueueCap is the per-socket datagram queue budget used
+// when Config.DgramQueueCap is zero. At the fabric's 8 KiB maximum
+// datagram it bounds one socket at 32 MiB, but typical meter-sized
+// datagrams keep a full queue in the hundreds of kilobytes.
+const DefaultDgramQueueCap = 4096
 
 // DefaultSyscallCost is used when Config.SyscallCost is zero.
 const DefaultSyscallCost = 200 * time.Microsecond
@@ -46,6 +61,9 @@ type Cluster struct {
 	hostToM  map[uint32]*Machine
 	hostNet  map[uint32]string // host id -> network it is an address on
 	nextHost uint32
+
+	schedMu   sync.Mutex
+	scheduler *scheduler // lazily started by the first SpawnTask
 
 	wg sync.WaitGroup // all process goroutines across all machines
 }
@@ -121,6 +139,7 @@ func (c *Cluster) AddMachine(name string, clk *clock.MachineClock, networks ...s
 		fs:        fsys.New(),
 		obs:       reg,
 		faults:    newMachineFaults(reg),
+		mem:       newMachineMem(reg),
 		procs:     make(map[int]*Process),
 		accounts:  make(map[int]string),
 		hostIDs:   make(map[string]uint32),
@@ -252,8 +271,30 @@ func (c *Cluster) meterBufferCount() int {
 	return 0 // caller substitutes meter.DefaultBufferCount
 }
 
+// dgramQueueCap returns the per-socket datagram queue budget; <= 0
+// means unbounded.
+func (c *Cluster) dgramQueueCap() int {
+	if c.cfg.DgramQueueCap != 0 {
+		return c.cfg.DgramQueueCap
+	}
+	return DefaultDgramQueueCap
+}
+
+// sched returns the cluster's task scheduler, starting it on first
+// use so clusters that never SpawnTask cost no goroutines.
+func (c *Cluster) sched() *scheduler {
+	c.schedMu.Lock()
+	defer c.schedMu.Unlock()
+	if c.scheduler == nil {
+		c.scheduler = newScheduler(c.cfg.SchedWorkers)
+	}
+	return c.scheduler
+}
+
 // Shutdown kills every live process, waits for their goroutines, and
-// closes the networks, so a simulation never leaks goroutines.
+// closes the networks, so a simulation never leaks goroutines. Task
+// processes are retired by the scheduler's workers (a kill wakes a
+// parked task), after which the worker pool itself is stopped.
 func (c *Cluster) Shutdown() {
 	for _, m := range c.Machines() {
 		for _, p := range m.Procs() {
@@ -261,6 +302,13 @@ func (c *Cluster) Shutdown() {
 		}
 	}
 	c.wg.Wait()
+	c.schedMu.Lock()
+	sched := c.scheduler
+	c.scheduler = nil
+	c.schedMu.Unlock()
+	if sched != nil {
+		sched.stop()
+	}
 	c.mu.Lock()
 	nets := make([]*netsim.Network, 0, len(c.networks))
 	for _, n := range c.networks {

@@ -24,5 +24,6 @@ var (
 	ErrMsgSize     = errors.New("kernel: message too long (EMSGSIZE)")
 	ErrAfNoSupport = errors.New("kernel: address family not supported (EAFNOSUPPORT)")
 	ErrTimedOut    = errors.New("kernel: operation timed out (ETIMEDOUT)")
+	ErrWouldBlock  = errors.New("kernel: operation would block (EWOULDBLOCK)")
 	ErrMachineDown = errors.New("kernel: machine is down")
 )

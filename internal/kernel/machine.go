@@ -37,6 +37,7 @@ type Machine struct {
 	// its metrics here, so one TStatsReq answers for the whole node.
 	obs    *obs.Registry
 	faults machineFaults
+	mem    machineMem
 
 	faultMu sync.Mutex // serializes crash/restart transitions
 
@@ -73,6 +74,31 @@ func newMachineFaults(r *obs.Registry) machineFaults {
 		meterDisabled: r.Counter("faults.meter_disabled"),
 		meterDrops:    r.Counter("faults.meter_drops"),
 	}
+}
+
+// machineMem is the machine's memory accounting: how much simulated
+// kernel memory (socket buffers) the machine is holding, with a high
+// water mark, so a simulation of thousands of machines has a bounded,
+// measurable per-machine footprint (docs/perf.md, simulation density).
+type machineMem struct {
+	sockets      *obs.Gauge   // live sockets on the machine
+	buffered     *obs.Gauge   // bytes queued in socket receive buffers
+	bufferedPeak *obs.Gauge   // high water of buffered
+	shedDgrams   *obs.Counter // datagrams shed by the per-socket queue budget
+}
+
+func newMachineMem(r *obs.Registry) machineMem {
+	return machineMem{
+		sockets:      r.Gauge("mem.sockets"),
+		buffered:     r.Gauge("mem.buffered_bytes"),
+		bufferedPeak: r.Gauge("mem.buffered_peak"),
+		shedDgrams:   r.Counter("mem.shed_dgrams"),
+	}
+}
+
+// charge adds n buffered bytes and maintains the high water mark.
+func (mm *machineMem) charge(n int64) {
+	mm.bufferedPeak.SetMax(mm.buffered.Add(n))
 }
 
 // Name returns the machine's host name.
@@ -233,6 +259,37 @@ func (m *Machine) SpawnDetached(uid int, name string) (*Process, error) {
 	return p, nil
 }
 
+// SpawnTask creates an event-driven process: a process-table entry
+// with no goroutine, whose step function runs on the cluster's pooled
+// scheduler workers (sched.go). It is the density-scalable alternative
+// to Spawn — 10k parked tasks hold no goroutines, channels, or stacks.
+// The process starts started, is killable and stoppable like any
+// other, and its exit is observable through the usual WaitExit/OnExit.
+func (m *Machine) SpawnTask(uid int, name string, fn TaskFunc) (*Process, error) {
+	if m.Down() {
+		return nil, fmt.Errorf("%w: %s", ErrMachineDown, m.name)
+	}
+	if !m.HasAccount(uid) {
+		return nil, fmt.Errorf("%w: uid %d on %s", ErrNoAccount, uid, m.name)
+	}
+	p := m.newProcess(SpawnSpec{UID: uid, Name: name})
+	p.detached = true
+	t := &Task{proc: p, fn: fn, sched: m.cluster.sched()}
+	t.wakeFn = t.wake
+	// Queued before the hook is visible: the starting SIGCONT below (and
+	// any signal racing the spawn) must not enqueue a second time ahead
+	// of the explicit enqueue.
+	t.state.Store(taskQueued)
+	p.sigMu.Lock()
+	p.task = t
+	p.schedHook = t.wake
+	p.sigMu.Unlock()
+	p.signal(SIGCONT)
+	m.wg.Add(1)
+	t.sched.enqueue(t)
+	return p, nil
+}
+
 func (m *Machine) newProcess(spec SpawnSpec) *Process {
 	m.mu.Lock()
 	m.nextPID++
@@ -324,14 +381,21 @@ func (m *Machine) newSocket(domain uint16, typ int) *Socket {
 	m.nextSockID++
 	id := m.nextSockID
 	m.mu.Unlock()
+	m.mem.sockets.Add(1)
 	return &Socket{
 		id:      id,
 		machine: m,
 		domain:  domain,
 		typ:     typ,
-		changed: make(chan struct{}),
 		refs:    1,
 	}
+}
+
+// Footprint reports the machine's live simulated-kernel memory: socket
+// count and bytes queued in socket receive buffers. The scale soak
+// uses it to pin the per-machine budget claimed in docs/perf.md.
+func (m *Machine) Footprint() (sockets, bufferedBytes int64) {
+	return m.mem.sockets.Load(), m.mem.buffered.Load()
 }
 
 // allocPort hands out an ephemeral port.

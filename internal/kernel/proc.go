@@ -83,6 +83,12 @@ type Process struct {
 	killCh   chan struct{} // closed when the process is killed
 	detached bool          // no goroutine: driven by an external caller
 
+	// task is set for event-driven processes (Machine.SpawnTask);
+	// schedHook, delivered on every signal, re-queues the parked task
+	// so a kill or continue is seen without a dedicated goroutine.
+	task      *Task
+	schedHook func()
+
 	exitOnce   sync.Once
 	exitCh     chan struct{} // closed when the process has terminated
 	exitStatus int
@@ -257,16 +263,22 @@ func (p *Process) signal(sig Signal) {
 		}
 		p.sigCond.Broadcast()
 	}
+	hook := p.schedHook
 	p.sigMu.Unlock()
+	if hook != nil {
+		hook()
+	}
 }
 
 // checkpoint is executed at every system-call boundary: it blocks
 // while the process is stopped and unwinds it if killed. Detached
 // processes (driven by an external caller rather than a goroutine)
-// report kills as an error instead of panicking.
+// report kills as an error instead of panicking. Task processes never
+// wait here — a stop would wedge a pooled scheduler worker, so the
+// scheduler parks the task between steps instead (sched.go).
 func (p *Process) checkpoint() error {
 	p.sigMu.Lock()
-	for p.stopped && !p.killed {
+	for p.stopped && !p.killed && p.task == nil {
 		p.sigCond.Wait()
 	}
 	killed := p.killed

@@ -1,0 +1,383 @@
+package kernel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpm/internal/meter"
+)
+
+// TestTaskRunsToDone: a task that asks to be re-queued twice and then
+// exits carries its status into the process table like any process.
+func TestTaskRunsToDone(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	steps := 0
+	p, err := red.SpawnTask(testUID, "stepper", func(tk *Task) Poll {
+		steps++
+		if steps < 3 {
+			return PollReady
+		}
+		tk.Status = 42
+		return PollDone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, reason := p.WaitExit()
+	if status != 42 || reason != ReasonNormal {
+		t.Fatalf("task exit = (%d, %s), want (42, normal)", status, reason)
+	}
+	if steps != 3 {
+		t.Fatalf("task ran %d steps, want 3", steps)
+	}
+}
+
+// TestTaskParksAndWakesOnDatagram: a task parked on a datagram socket
+// is re-queued when one arrives — from another machine, through the
+// fabric — without any goroutine of its own.
+func TestTaskParksAndWakesOnDatagram(t *testing.T) {
+	_, red, green := newTestCluster(t)
+
+	got := make(chan []byte, 1)
+	var fd int
+	p, err := red.SpawnTask(testUID, "sink", func(tk *Task) Poll {
+		p := tk.Proc()
+		if fd == 0 {
+			var err error
+			fd, err = p.Socket(meter.AFInet, SockDgram)
+			if err != nil {
+				t.Errorf("socket: %v", err)
+				return PollDone
+			}
+			if err := p.BindPort(fd, 9000); err != nil {
+				t.Errorf("bind: %v", err)
+				return PollDone
+			}
+		}
+		data, _, err := p.TryRecvFrom(fd, 4096)
+		switch {
+		case err == nil:
+			got <- data
+			return PollDone
+		case errors.Is(err, ErrWouldBlock):
+			return tk.Park(fd)
+		default:
+			t.Errorf("recv: %v", err)
+			return PollDone
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sender := detached(t, green)
+	sfd, err := sender.Socket(meter.AFInet, SockDgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the task time to bind before sending; retry while the port
+	// is not yet there.
+	dest := meter.InetName(red.PrimaryHostID(), 9000)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if red.PortBound(SockDgram, 9000) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("task never bound its port")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := sender.SendTo(sfd, []byte("ping"), dest); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case data := <-got:
+		if string(data) != "ping" {
+			t.Fatalf("task received %q, want %q", data, "ping")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked task was never woken by the datagram")
+	}
+	p.WaitExit()
+}
+
+// TestTaskSleepWakes: a Sleep deadline re-queues a parked task through
+// the scheduler's shared timer heap.
+func TestTaskSleepWakes(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	var phase int
+	start := time.Now()
+	p, err := red.SpawnTask(testUID, "sleeper", func(tk *Task) Poll {
+		phase++
+		if phase == 1 {
+			return tk.Sleep(20 * time.Millisecond)
+		}
+		return PollDone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WaitExit()
+	if phase != 2 {
+		t.Fatalf("task ran %d phases, want 2", phase)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("task woke after %v, want >= ~20ms", elapsed)
+	}
+}
+
+// TestTaskKillWhileParked: SIGKILL re-queues a parked task so a worker
+// retires it; cluster shutdown then returns promptly.
+func TestTaskKillWhileParked(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	p, err := red.SpawnTask(testUID, "forever", func(tk *Task) Poll {
+		return PollBlocked // park with no watches: only a signal wakes us
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let it park
+	p.signal(SIGKILL)
+	done := make(chan struct{})
+	go func() { p.WaitExit(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("killed parked task never retired")
+	}
+	if _, reason := p.WaitExit(); reason != ReasonKilled {
+		t.Fatalf("reason = %s, want killed", reason)
+	}
+}
+
+// TestTaskStopCont: a stopped task does not run its step; SIGCONT
+// resumes it. The scheduler parks stopped tasks between steps instead
+// of blocking a worker in checkpoint.
+func TestTaskStopCont(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	var steps atomic.Int32
+	resume := make(chan struct{})
+	p, err := red.SpawnTask(testUID, "stoppable", func(tk *Task) Poll {
+		if steps.Add(1) == 1 {
+			return PollReady
+		}
+		select {
+		case <-resume:
+			return PollDone
+		default:
+			return PollReady
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.signal(SIGSTOP)
+	time.Sleep(10 * time.Millisecond)
+	before := steps.Load()
+	time.Sleep(20 * time.Millisecond)
+	if after := steps.Load(); after != before {
+		t.Fatalf("stopped task kept stepping: %d -> %d", before, after)
+	}
+	close(resume)
+	p.signal(SIGCONT)
+	status, reason := p.WaitExit()
+	if status != 0 || reason != ReasonNormal {
+		t.Fatalf("exit = (%d, %s), want (0, normal)", status, reason)
+	}
+}
+
+// TestManyTasksSubLinearGoroutines is the density claim in miniature:
+// 2000 parked tasks add only the scheduler's fixed worker pool to the
+// process's goroutine count.
+func TestManyTasksSubLinearGoroutines(t *testing.T) {
+	c := NewCluster(Config{})
+	c.AddNetwork("ether0")
+	m, err := c.AddMachine("dense", nil, "ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddAccount(testUID, "user")
+	t.Cleanup(c.Shutdown)
+
+	base := runtime.NumGoroutine()
+	const tasks = 2000
+	for i := 0; i < tasks; i++ {
+		if _, err := m.SpawnTask(testUID, "idle", func(tk *Task) Poll {
+			return PollBlocked
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let every task park
+	grew := runtime.NumGoroutine() - base
+	// Worker pool + timer goroutine is <= 9; anything near the task
+	// count means tasks are holding goroutines again.
+	if grew > 32 {
+		t.Fatalf("%d tasks grew goroutines by %d, want <= 32", tasks, grew)
+	}
+}
+
+// TestTryAcceptWouldBlock: the non-blocking accept path used by
+// event-driven listeners.
+func TestTryAcceptWouldBlock(t *testing.T) {
+	_, red, green := newTestCluster(t)
+	server := detached(t, green)
+	lfd, lname := listenStream(t, server, 700)
+	if _, _, err := server.TryAccept(lfd); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("TryAccept on empty listener: %v, want ErrWouldBlock", err)
+	}
+	client := detached(t, red)
+	cfd, err := client.Socket(meter.AFInet, SockStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Connect(cfd, lname); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := server.TryAccept(lfd); err != nil {
+		t.Fatalf("TryAccept with pending connection: %v", err)
+	}
+}
+
+// TestTryRecvFromWouldBlock: the non-blocking receive path.
+func TestTryRecvFromWouldBlock(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	p := detached(t, red)
+	fd, err := p.Socket(meter.AFInet, SockDgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BindPort(fd, 701); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.TryRecvFrom(fd, 4096); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("TryRecvFrom on empty socket: %v, want ErrWouldBlock", err)
+	}
+	if _, err := p.SendTo(fd, []byte("self"), meter.InetName(red.PrimaryHostID(), 701)); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := p.TryRecvFrom(fd, 4096)
+	if err != nil || string(data) != "self" {
+		t.Fatalf("TryRecvFrom = (%q, %v), want (self, nil)", data, err)
+	}
+}
+
+// TestDgramQueueBudgetSheds: the per-socket datagram budget bounds an
+// unread socket's footprint; overflow is shed and counted.
+func TestDgramQueueBudgetSheds(t *testing.T) {
+	c := NewCluster(Config{DgramQueueCap: 8})
+	c.AddNetwork("ether0")
+	m, err := c.AddMachine("tiny", nil, "ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddAccount(testUID, "user")
+	t.Cleanup(c.Shutdown)
+	p, err := m.SpawnDetached(testUID, "flood")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := p.Socket(meter.AFInet, SockDgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BindPort(fd, 702); err != nil {
+		t.Fatal(err)
+	}
+	dest := meter.InetName(m.PrimaryHostID(), 702)
+	for i := 0; i < 20; i++ {
+		if _, err := p.SendTo(fd, []byte("x"), dest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := p.TryRecvFrom(fd, 16); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	if _, _, err := p.TryRecvFrom(fd, 16); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("recv past budget: %v, want ErrWouldBlock (queue capped at 8)", err)
+	}
+	if shed := m.mem.shedDgrams.Load(); shed != 12 {
+		t.Fatalf("shed datagrams = %d, want 12", shed)
+	}
+}
+
+// TestSelectReadyAllocs gates the wait-list rewrite of Process.Select:
+// with parking pooled, a ready select's only heap traffic is the two
+// result slices (sockets + ready fds). The reflect.Select version it
+// replaced allocated a SelectCase slice, boxed every channel in an
+// interface, and burned a wait channel per wakeup.
+func TestSelectReadyAllocs(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	_, red, _ := newTestCluster(t)
+	p := detached(t, red)
+	fds := make([]int, 0, 8)
+	for i := 0; i < 8; i++ {
+		a, b, err := p.SocketPair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Send(a, []byte("ready")); err != nil {
+			t.Fatal(err)
+		}
+		fds = append(fds, b)
+	}
+	// Warm the parking pool.
+	if _, err := p.Select(fds); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(200, func() {
+		ready, err := p.Select(fds)
+		if err != nil || len(ready) != 8 {
+			t.Fatalf("Select = (%v, %v), want 8 ready", ready, err)
+		}
+	})
+	// socks slice + up to 4 appends growing the ready slice; anything
+	// beyond ~6 means per-wait allocation crept back in.
+	if n > 6 {
+		t.Fatalf("ready Select allocates %v per call, want <= 6", n)
+	}
+}
+
+// TestMachineFootprintAccounting: buffered bytes are charged on
+// delivery and released on consumption and socket death.
+func TestMachineFootprintAccounting(t *testing.T) {
+	_, red, _ := newTestCluster(t)
+	p := detached(t, red)
+	fd1, fd2, err := p.SocketPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send(fd1, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, buffered := red.Footprint(); buffered != 10 {
+		t.Fatalf("buffered after send = %d, want 10", buffered)
+	}
+	if _, err := p.Recv(fd2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, buffered := red.Footprint(); buffered != 6 {
+		t.Fatalf("buffered after partial read = %d, want 6", buffered)
+	}
+	if err := p.Close(fd2); err != nil {
+		t.Fatal(err)
+	}
+	if _, buffered := red.Footprint(); buffered != 0 {
+		t.Fatalf("buffered after close = %d, want 0", buffered)
+	}
+	if err := p.Close(fd1); err != nil {
+		t.Fatal(err)
+	}
+	if socks, _ := red.Footprint(); socks != 0 {
+		t.Fatalf("sockets after closing both ends = %d, want 0", socks)
+	}
+}

@@ -32,9 +32,15 @@ type Socket struct {
 	typ     int    // SockStream or SockDgram
 
 	mu      sync.Mutex
-	changed chan struct{} // closed and replaced on every state change
-	refs    int           // descriptor references across all processes
+	waiters waitList // blocked readers/acceptors, woken on state change
+	refs    int      // descriptor references across all processes
 	closed  bool
+
+	// buffered is the byte count this socket has charged against its
+	// machine's memory accounting (queued stream bytes plus queued
+	// datagram payloads); released as data is consumed or the socket
+	// dies.
+	buffered int
 
 	// Naming.
 	bound     bool
@@ -61,8 +67,21 @@ type Socket struct {
 
 // broadcastLocked wakes every waiter on the socket. Callers hold s.mu.
 func (s *Socket) broadcastLocked() {
-	close(s.changed)
-	s.changed = make(chan struct{})
+	s.waiters.wakeAll()
+}
+
+// chargeLocked accounts n queued bytes against the machine's memory
+// budget. Callers hold s.mu.
+func (s *Socket) chargeLocked(n int) {
+	s.buffered += n
+	s.machine.mem.charge(int64(n))
+}
+
+// releaseLocked returns n queued bytes to the budget as data is
+// consumed. Callers hold s.mu.
+func (s *Socket) releaseLocked(n int) {
+	s.buffered -= n
+	s.machine.mem.buffered.Add(int64(-n))
 }
 
 // ID returns the socket's machine-unique identifier.
@@ -126,8 +145,12 @@ func (s *Socket) unref() {
 	pending := s.pendingConns
 	s.pendingConns = nil
 	peer := s.peer
+	if s.buffered > 0 {
+		s.releaseLocked(s.buffered)
+	}
 	s.broadcastLocked()
 	s.mu.Unlock()
+	s.machine.mem.sockets.Add(-1)
 
 	s.machine.unbindSocket(s)
 	// Reject connections that were queued but never accepted: drop the
@@ -205,12 +228,13 @@ func (s *Socket) Readable() bool {
 	return s.readyLocked()
 }
 
-// waitChan returns the channel that will be closed at the next state
-// change, for use in select loops.
-func (s *Socket) waitChan() chan struct{} {
+// unpark removes a waiter enqueued by a blocking system call and
+// returns the node to the pool.
+func (s *Socket) unpark(w *waiter) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.changed
+	s.waiters.remove(w)
+	s.mu.Unlock()
+	putWaiter(w)
 }
 
 // deliverStream appends stream bytes arriving from the peer.
@@ -223,20 +247,33 @@ func (s *Socket) deliverStream(data []byte, sentAt time.Duration) {
 	s.mu.Lock()
 	if !s.closed {
 		s.recvBuf = append(s.recvBuf, data...)
+		s.chargeLocked(len(data))
 		s.broadcastLocked()
 	}
 	s.mu.Unlock()
 }
 
 // deliverDgram enqueues one datagram, with the same clock gossip as
-// deliverStream.
+// deliverStream. The queue is bounded by the cluster's per-socket
+// datagram budget: a receiver that never drains cannot grow the
+// machine's footprint without limit, it sheds datagrams instead —
+// legal for the unreliable transport and counted in mem.shed_dgrams.
 func (s *Socket) deliverDgram(data []byte, src meter.Name, sentAt time.Duration) {
 	s.machine.clock.AdvanceTo(sentAt)
+	budget := s.machine.cluster.dgramQueueCap()
 	s.mu.Lock()
-	if !s.closed {
-		s.dgrams = append(s.dgrams, dgram{data: append([]byte(nil), data...), src: src})
-		s.broadcastLocked()
+	if s.closed {
+		s.mu.Unlock()
+		return
 	}
+	if budget > 0 && len(s.dgrams) >= budget {
+		s.mu.Unlock()
+		s.machine.mem.shedDgrams.Inc()
+		return
+	}
+	s.dgrams = append(s.dgrams, dgram{data: append([]byte(nil), data...), src: src})
+	s.chargeLocked(len(data))
+	s.broadcastLocked()
 	s.mu.Unlock()
 }
 

@@ -3,7 +3,6 @@ package kernel
 import (
 	"fmt"
 	"io"
-	"reflect"
 	"time"
 
 	"dpm/internal/meter"
@@ -245,14 +244,11 @@ func (p *Process) Connect(fd int, name meter.Name) error {
 	return nil
 }
 
-// block waits for the socket's next state change, honoring kill.
-func (p *Process) block(ch <-chan struct{}) error {
-	return p.blockTimeout(ch, nil)
-}
-
-// blockTimeout is block with a deadline channel; a nil timeout never
-// fires.
-func (p *Process) blockTimeout(ch <-chan struct{}, timeout <-chan time.Time) error {
+// await sleeps until a wakeup token arrives on ch (a waiter fired),
+// the timeout elapses, or the process is killed. The caller must have
+// enqueued a waiter pointing at ch before its last condition check, so
+// no state change can fall between check and sleep.
+func (p *Process) await(ch <-chan struct{}, timeout <-chan time.Time) error {
 	select {
 	case <-ch:
 		return nil
@@ -270,6 +266,17 @@ func (p *Process) blockTimeout(ch <-chan struct{}, timeout <-chan time.Time) err
 // socket, then returns the descriptor of the new connection socket and
 // the name of the connecting peer.
 func (p *Process) Accept(fd int) (int, meter.Name, error) {
+	return p.accept(fd, false)
+}
+
+// TryAccept is Accept that never blocks: with no pending connection it
+// fails with ErrWouldBlock. Event-driven tasks (Machine.SpawnTask) use
+// it to drain a listener and then park instead of holding a worker.
+func (p *Process) TryAccept(fd int) (int, meter.Name, error) {
+	return p.accept(fd, true)
+}
+
+func (p *Process) accept(fd int, nonblock bool) (int, meter.Name, error) {
 	if err := p.enter(); err != nil {
 		return -1, meter.Name{}, err
 	}
@@ -305,9 +312,16 @@ func (p *Process) Accept(fd int) (int, meter.Name, error) {
 			})
 			return nfd, peer, nil
 		}
-		ch := s.changed
+		if nonblock {
+			s.mu.Unlock()
+			return -1, meter.Name{}, ErrWouldBlock
+		}
+		w := getWaiter()
+		s.waiters.push(w)
 		s.mu.Unlock()
-		if err := p.block(ch); err != nil {
+		err := p.await(w.ch, nil)
+		s.unpark(w)
+		if err != nil {
 			return -1, meter.Name{}, err
 		}
 	}
@@ -456,7 +470,14 @@ func (p *Process) Recv(fd, max int) ([]byte, error) {
 
 // RecvFrom is Recv plus the source's name, meaningful for datagrams.
 func (p *Process) RecvFrom(fd, max int) ([]byte, meter.Name, error) {
-	return p.recvFrom(fd, max, nil)
+	return p.recvFrom(fd, max, nil, false)
+}
+
+// TryRecvFrom is RecvFrom that never blocks: with nothing to read it
+// fails with ErrWouldBlock. Event-driven tasks (Machine.SpawnTask) use
+// it to drain a socket and then park instead of holding a worker.
+func (p *Process) TryRecvFrom(fd, max int) ([]byte, meter.Name, error) {
+	return p.recvFrom(fd, max, nil, true)
 }
 
 // RecvTimeout is RecvFrom with a deadline: if nothing arrives within d
@@ -466,10 +487,10 @@ func (p *Process) RecvFrom(fd, max int) ([]byte, meter.Name, error) {
 func (p *Process) RecvTimeout(fd, max int, d time.Duration) ([]byte, meter.Name, error) {
 	t := time.NewTimer(d)
 	defer t.Stop()
-	return p.recvFrom(fd, max, t.C)
+	return p.recvFrom(fd, max, t.C, false)
 }
 
-func (p *Process) recvFrom(fd, max int, timeout <-chan time.Time) ([]byte, meter.Name, error) {
+func (p *Process) recvFrom(fd, max int, timeout <-chan time.Time, nonblock bool) ([]byte, meter.Name, error) {
 	if err := p.enter(); err != nil {
 		return nil, meter.Name{}, err
 	}
@@ -507,6 +528,7 @@ func (p *Process) recvFrom(fd, max int, timeout <-chan time.Time) ([]byte, meter
 			if len(s.dgrams) > 0 {
 				dg := s.dgrams[0]
 				s.dgrams = s.dgrams[1:]
+				s.releaseLocked(len(dg.data))
 				s.mu.Unlock()
 				data := dg.data
 				if len(data) > max {
@@ -529,6 +551,7 @@ func (p *Process) recvFrom(fd, max int, timeout <-chan time.Time) ([]byte, meter
 				}
 				data := append([]byte(nil), s.recvBuf[:n]...)
 				s.recvBuf = s.recvBuf[n:]
+				s.releaseLocked(n)
 				s.mu.Unlock()
 				// Like the send side, a read on a connection carries no
 				// source name; the analysis recovers it from the
@@ -541,9 +564,16 @@ func (p *Process) recvFrom(fd, max int, timeout <-chan time.Time) ([]byte, meter
 				return nil, meter.Name{}, io.EOF
 			}
 		}
-		ch := s.changed
+		if nonblock {
+			s.mu.Unlock()
+			return nil, meter.Name{}, ErrWouldBlock
+		}
+		w := getWaiter()
+		s.waiters.push(w)
 		s.mu.Unlock()
-		if err := p.blockTimeout(ch, timeout); err != nil {
+		err := p.await(w.ch, timeout)
+		s.unpark(w)
+		if err != nil {
 			return nil, meter.Name{}, err
 		}
 	}
@@ -809,6 +839,15 @@ func (p *Process) Compute(d time.Duration) {
 // Select blocks until at least one of the given descriptors is ready
 // for reading, and returns the ready subset. The standard filter uses
 // it to multiplex its meter connections.
+//
+// The seed kernel built a []reflect.SelectCase per loop iteration and
+// slept in reflect.Select — two channel boxings per descriptor per
+// wakeup. Now every watched socket gets an intrusive waiter node
+// pointing at one pooled wake channel: the call parks on all sockets
+// first, then collects readiness, so a state change between check and
+// sleep fires the channel rather than being lost, and the steady-state
+// cost is two small slice allocations regardless of descriptor count
+// (gated by TestSelectReadyAllocs).
 func (p *Process) Select(fds []int) ([]int, error) {
 	if err := p.enter(); err != nil {
 		return nil, err
@@ -828,24 +867,31 @@ func (p *Process) Select(fds []int) ([]int, error) {
 		if err := p.checkpoint(); err != nil {
 			return nil, err
 		}
+		sp := getSelectParking(len(socks))
 		var ready []int
-		cases := make([]reflect.SelectCase, 0, len(socks)+1)
 		for i, s := range socks {
-			if s.Readable() {
+			s.mu.Lock()
+			s.waiters.push(&sp.nodes[i])
+			if s.readyLocked() {
 				ready = append(ready, fds[i])
 			}
-			cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(s.waitChan())})
+			s.mu.Unlock()
 		}
+		var waitErr error
+		if len(ready) == 0 {
+			waitErr = p.await(sp.ch, nil)
+		}
+		for i, s := range socks {
+			s.mu.Lock()
+			s.waiters.remove(&sp.nodes[i])
+			s.mu.Unlock()
+		}
+		putSelectParking(sp)
 		if len(ready) > 0 {
 			return ready, nil
 		}
-		cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(p.killCh)})
-		chosen, _, _ := reflect.Select(cases)
-		if chosen == len(cases)-1 {
-			if p.detached {
-				return nil, ErrKilled
-			}
-			panic(killedPanic{})
+		if waitErr != nil {
+			return nil, waitErr
 		}
 	}
 }

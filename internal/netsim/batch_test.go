@@ -1,0 +1,194 @@
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// These tests pin the semantics of the batched delivery fabric
+// (fabric.go): same-destination ordering, seed-stable loss decisions,
+// cut-at-send partitioning, the Close drain, and the whole point of
+// the exercise — goroutine count independent of in-flight datagrams.
+
+// TestFabricSameDestOrdering: a burst of same-latency datagrams to one
+// destination arrives in send order. They share a wheel tick cohort
+// (ordered by send sequence) and a delivery lane (serialized), so
+// latency must not shuffle them.
+func TestFabricSameDestOrdering(t *testing.T) {
+	n := New("ether0", WithLatency(5*time.Millisecond, 0))
+	defer n.Close()
+	s := &sink{}
+	if err := n.Attach(2, s); err != nil {
+		t.Fatal(err)
+	}
+	const burst = 200
+	for i := 0; i < burst; i++ {
+		if err := n.Send(dg(2, strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.count() < burst {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d", s.count(), burst)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, p := range s.payloads() {
+		if p != strconv.Itoa(i) {
+			t.Fatalf("position %d holds %q: same-destination burst reordered", i, p)
+		}
+	}
+}
+
+// TestFabricLossMatchesSynchronous: loss is decided at Send under the
+// seeded rng, ahead of the fabric, so the set of surviving datagrams
+// for a given seed is identical with and without latency.
+func TestFabricLossMatchesSynchronous(t *testing.T) {
+	run := func(opts ...Option) []string {
+		n := New("ether0", append([]Option{WithLoss(0.3), WithSeed(42)}, opts...)...)
+		s := &sink{}
+		if err := n.Attach(2, s); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if err := n.Send(dg(2, strconv.Itoa(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Close() // drains the wheel in the latency run
+		return s.payloads()
+	}
+	sync := run()
+	delayed := run(WithLatency(3*time.Millisecond, 0))
+	if len(sync) != len(delayed) {
+		t.Fatalf("latency changed the loss outcome: %d survivors synchronous, %d delayed",
+			len(sync), len(delayed))
+	}
+	for i := range sync {
+		if sync[i] != delayed[i] {
+			t.Fatalf("survivor %d differs: %q synchronous, %q delayed", i, sync[i], delayed[i])
+		}
+	}
+	if len(sync) == 500 || len(sync) == 0 {
+		t.Fatalf("loss 0.3 left %d of 500: rng not applied", len(sync))
+	}
+}
+
+// TestFabricCutSeversAtSend: a datagram sent across a cut link is lost
+// even with latency configured, while one already in flight when the
+// cut lands still arrives — the cut severs the link, not the ether.
+func TestFabricCutSeversAtSend(t *testing.T) {
+	n := New("ether0", WithLatency(20*time.Millisecond, 0))
+	defer n.Close()
+	s := &sink{}
+	if err := n.Attach(2, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(dg(2, "before-cut")); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(1, 2)
+	if err := n.Send(dg(2, "after-cut")); err != nil {
+		t.Fatal(err) // silent loss: Send itself succeeds
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight datagram never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // past the after-cut datagram's due time
+	if got := s.payloads(); len(got) != 1 || got[0] != "before-cut" {
+		t.Fatalf("delivered %v, want only the pre-cut datagram", got)
+	}
+}
+
+// TestFabricCloseDrainsWheel: Close flushes every parked flight — even
+// ones whose due time is far in the future — in due order.
+func TestFabricCloseDrainsWheel(t *testing.T) {
+	n := New("ether0", WithLatency(10*time.Second, 0)) // nothing fires naturally
+	s := &sink{}
+	if err := n.Attach(2, s); err != nil {
+		t.Fatal(err)
+	}
+	const parked = 300
+	for i := 0; i < parked; i++ {
+		if err := n.Send(dg(2, strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.count() != 0 {
+		t.Fatal("10s-latency datagrams delivered early")
+	}
+	start := time.Now()
+	n.Close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v: waited for due times instead of draining", elapsed)
+	}
+	if got := s.count(); got != parked {
+		t.Fatalf("Close drained %d of %d parked flights", got, parked)
+	}
+	for i, p := range s.payloads() {
+		if p != strconv.Itoa(i) {
+			t.Fatalf("drain position %d holds %q: flush broke due order", i, p)
+		}
+	}
+}
+
+// TestFabricGoroutinesBounded: thousands of in-flight datagrams ride
+// the fixed fabric machinery (one ticker, four lanes) instead of a
+// goroutine each. This is the density claim the seed's AfterFunc
+// design failed.
+func TestFabricGoroutinesBounded(t *testing.T) {
+	n := New("ether0", WithLatency(250*time.Millisecond, 0))
+	sinks := make([]*sink, 16)
+	for h := range sinks {
+		sinks[h] = &sink{}
+		if err := n.Attach(uint32(h+2), sinks[h]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := runtime.NumGoroutine()
+	const inFlight = 5000
+	for i := 0; i < inFlight; i++ {
+		if err := n.Send(dg(uint32(i%16+2), "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grew := runtime.NumGoroutine() - base; grew > 8 {
+		t.Fatalf("%d in-flight datagrams grew goroutines by %d, want <= 8 (fabric only)", inFlight, grew)
+	}
+	n.Close()
+	total := 0
+	for _, s := range sinks {
+		total += s.count()
+	}
+	if total != inFlight {
+		t.Fatalf("delivered %d of %d after Close", total, inFlight)
+	}
+}
+
+// TestFabricJitterSpreadsDelivery: jitter picks different due ticks,
+// and every datagram still arrives exactly once.
+func TestFabricJitterSpreadsDelivery(t *testing.T) {
+	n := New("ether0", WithLatency(2*time.Millisecond, 5*time.Millisecond), WithSeed(7))
+	s := &sink{}
+	if err := n.Attach(2, s); err != nil {
+		t.Fatal(err)
+	}
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		if err := n.Send(dg(2, fmt.Sprintf("j%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Close()
+	if got := s.count(); got != sent {
+		t.Fatalf("delivered %d of %d with jitter", got, sent)
+	}
+}

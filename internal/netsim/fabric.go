@@ -1,0 +1,243 @@
+package netsim
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file implements the network's batched delivery fabric: the
+// replacement for one time.AfterFunc goroutine per delayed datagram.
+// Delayed datagrams park in a coarse timer wheel (1ms ticks, 256
+// slots) advanced by a single ticker goroutine; due flights drain
+// through a small fixed set of delivery lanes. Ten thousand datagrams
+// in flight cost ten thousand queue entries and five goroutines, not
+// ten thousand goroutines.
+//
+// Ordering: all datagrams to one destination host hash to the same
+// lane, and flights fire in (due tick, send sequence) order, so two
+// same-latency datagrams to the same destination arrive in send order
+// — the property the kernel's per-socket FIFO queues observe. Loss,
+// reordering, and partition decisions stay in Network.Send, ahead of
+// the fabric, so a seeded run drops the same datagrams whether or not
+// latency is configured.
+
+const (
+	tickGranularity = time.Millisecond
+	wheelSlots      = 256
+	fabricLanes     = 4
+)
+
+// flight is one delayed datagram parked in the wheel.
+type flight struct {
+	due uint64 // wheel tick at which to deliver
+	seq uint64 // send order; tiebreak within a tick and for the close flush
+	ep  Endpoint
+	dg  Datagram
+}
+
+// lane is one serialized delivery queue. Same-destination flights
+// always land in the same lane, preserving their order end to end.
+type lane struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []flight
+	closed bool
+}
+
+func newLane() *lane {
+	l := &lane{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *lane) push(fl flight) {
+	l.mu.Lock()
+	l.q = append(l.q, fl)
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// pop blocks for the next flight; it drains the queue fully before
+// honoring close, so nothing pushed ahead of close is lost.
+func (l *lane) pop() (flight, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.q) == 0 {
+		if l.closed {
+			return flight{}, false
+		}
+		l.cond.Wait()
+	}
+	fl := l.q[0]
+	n := copy(l.q, l.q[1:])
+	l.q[n] = flight{}
+	l.q = l.q[:n]
+	return fl, true
+}
+
+func (l *lane) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// fabric is a network's shared delivery machinery, created lazily on
+// the first delayed datagram so synchronous networks pay nothing.
+type fabric struct {
+	mu      sync.Mutex
+	slots   [wheelSlots][]flight
+	tick    uint64
+	seq     uint64
+	pending int        // flights in the wheel or in a lane
+	drained *sync.Cond // signaled when pending reaches zero
+
+	lanes  [fabricLanes]*lane
+	stopCh chan struct{}
+	tickWg sync.WaitGroup
+	laneWg sync.WaitGroup
+}
+
+func newFabric() *fabric {
+	f := &fabric{stopCh: make(chan struct{})}
+	f.drained = sync.NewCond(&f.mu)
+	for i := range f.lanes {
+		f.lanes[i] = newLane()
+		f.laneWg.Add(1)
+		go f.laneWorker(f.lanes[i])
+	}
+	f.tickWg.Add(1)
+	go f.tickLoop()
+	return f
+}
+
+// enqueue parks a datagram in the wheel for delivery after delay.
+func (f *fabric) enqueue(ep Endpoint, dg Datagram, delay time.Duration) {
+	ticks := uint64((delay + tickGranularity - 1) / tickGranularity)
+	if ticks == 0 {
+		ticks = 1
+	}
+	f.mu.Lock()
+	f.seq++
+	fl := flight{due: f.tick + ticks, seq: f.seq, ep: ep, dg: dg}
+	slot := &f.slots[fl.due%wheelSlots]
+	*slot = append(*slot, fl)
+	f.pending++
+	f.mu.Unlock()
+}
+
+// advance moves the wheel to tick `to` and returns the flights that
+// came due, ordered by (due, seq).
+func (f *fabric) advance(to uint64) []flight {
+	f.mu.Lock()
+	if to <= f.tick {
+		f.mu.Unlock()
+		return nil
+	}
+	var due []flight
+	from := f.tick + 1
+	if to-f.tick >= wheelSlots {
+		// A stall longer than one revolution: every slot may hold due
+		// work; one pass over the wheel covers them all.
+		from = to - wheelSlots + 1
+	}
+	for t := from; t <= to; t++ {
+		slot := &f.slots[t%wheelSlots]
+		kept := (*slot)[:0]
+		for _, fl := range *slot {
+			if fl.due <= to {
+				due = append(due, fl)
+			} else {
+				kept = append(kept, fl) // a later revolution owns it
+			}
+		}
+		*slot = kept
+	}
+	f.tick = to
+	f.mu.Unlock()
+	sortFlights(due)
+	return due
+}
+
+func sortFlights(fls []flight) {
+	sort.Slice(fls, func(i, j int) bool {
+		if fls[i].due != fls[j].due {
+			return fls[i].due < fls[j].due
+		}
+		return fls[i].seq < fls[j].seq
+	})
+}
+
+func (f *fabric) dispatch(fl flight) {
+	f.lanes[fl.dg.Dst.Host%fabricLanes].push(fl)
+}
+
+// tickLoop advances the wheel against the wall clock — the one timer
+// goroutine standing in for the per-datagram AfterFunc goroutines.
+func (f *fabric) tickLoop() {
+	defer f.tickWg.Done()
+	ticker := time.NewTicker(tickGranularity)
+	defer ticker.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-f.stopCh:
+			return
+		case <-ticker.C:
+			now := uint64(time.Since(start) / tickGranularity)
+			for _, fl := range f.advance(now) {
+				f.dispatch(fl)
+			}
+		}
+	}
+}
+
+// laneWorker delivers one lane's flights in order.
+func (f *fabric) laneWorker(l *lane) {
+	defer f.laneWg.Done()
+	for {
+		fl, ok := l.pop()
+		if !ok {
+			return
+		}
+		fl.ep.DeliverDatagram(fl.dg)
+		f.mu.Lock()
+		f.pending--
+		if f.pending == 0 {
+			f.drained.Broadcast()
+		}
+		f.mu.Unlock()
+	}
+}
+
+// close drains the fabric: stop the clock, flush everything still in
+// the wheel (in due order) through the lanes, wait for the last
+// delivery, and retire the workers. Network.Close's guarantee that no
+// pending delivery outlives the simulation rests here.
+func (f *fabric) close() {
+	close(f.stopCh)
+	f.tickWg.Wait()
+
+	f.mu.Lock()
+	var rest []flight
+	for i := range f.slots {
+		rest = append(rest, f.slots[i]...)
+		f.slots[i] = nil
+	}
+	f.mu.Unlock()
+	sortFlights(rest)
+	for _, fl := range rest {
+		f.dispatch(fl)
+	}
+
+	f.mu.Lock()
+	for f.pending > 0 {
+		f.drained.Wait()
+	}
+	f.mu.Unlock()
+	for _, l := range f.lanes {
+		l.close()
+	}
+	f.laneWg.Wait()
+}

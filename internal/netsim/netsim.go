@@ -91,7 +91,7 @@ type Network struct {
 	cuts    map[linkKey]struct{} // severed host pairs (partitions)
 	cutHook func(a, b uint32)    // called after a link is newly cut
 
-	wg sync.WaitGroup // outstanding delayed deliveries
+	fab *fabric // batched delayed-delivery machinery (fabric.go), lazily built
 }
 
 // linkKey identifies one bidirectional host pair, order-normalized.
@@ -346,11 +346,18 @@ func (n *Network) deliver(d delivery, delay time.Duration) {
 		d.ep.DeliverDatagram(d.dg)
 		return
 	}
-	n.wg.Add(1)
-	time.AfterFunc(delay, func() {
-		defer n.wg.Done()
-		d.ep.DeliverDatagram(d.dg)
-	})
+	n.mu.Lock()
+	if n.closed {
+		// Racing a concurrent Close: the network vanished with the
+		// datagram in flight, an ordinary silent loss.
+		n.mu.Unlock()
+		return
+	}
+	if n.fab == nil {
+		n.fab = newFabric()
+	}
+	n.fab.enqueue(d.ep, d.dg, delay)
+	n.mu.Unlock()
 }
 
 // Flush releases any datagram currently held back for reordering.
@@ -369,8 +376,10 @@ func (n *Network) Flush() {
 	}
 }
 
-// Close shuts the network down and waits for delayed deliveries to
-// finish, so no goroutine outlives the simulation.
+// Close shuts the network down, flushes every delayed datagram still
+// parked in the delivery fabric's timer wheel (in due order), and
+// waits for those deliveries to finish, so no goroutine outlives the
+// simulation.
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -379,6 +388,10 @@ func (n *Network) Close() {
 	}
 	n.closed = true
 	n.held = nil
+	fb := n.fab
+	n.fab = nil
 	n.mu.Unlock()
-	n.wg.Wait()
+	if fb != nil {
+		fb.close()
+	}
 }

@@ -50,8 +50,9 @@ type Gauge struct{ v atomic.Int64 }
 // Set records the current level.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
-// Add moves the level by n.
-func (g *Gauge) Add(n int64) { g.v.Add(n) }
+// Add moves the level by n and returns the new level, so callers can
+// maintain a companion high-water gauge without a second load.
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
 
 // SetMax raises the gauge to v if v exceeds the current level — the
 // lock-free high-water update.

@@ -3,6 +3,7 @@ package query
 import (
 	"container/heap"
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -18,9 +19,11 @@ import (
 // sequential Run, order included, because:
 //
 //   - per-shard event order is a fold of trace.Merge over the shard's
-//     segments in rotation order, and the parallel path performs the
-//     identical fold (workers only scan; the fold itself happens on the
-//     merge goroutine, in task order);
+//     segments in rotation order; Merge is concatenation plus a stable
+//     sort by cpuTime, so the fold equals appending each segment's
+//     matches in task order and stable-sorting the shard buffer once
+//     (stable sorting is associative over concatenation) — which is
+//     what the collector does, without Merge's per-fold reallocation;
 //   - cross-shard order comes from the same cursorHeap with the same
 //     shard-id tie-break;
 //   - stats are sums of per-segment counters, which commute.
@@ -51,13 +54,30 @@ type scanResult struct {
 	err     error
 }
 
+// matchedPool recycles per-segment match buffers across scan tasks.
+// Without it every segment grows a fresh matched slice that dies as
+// soon as the collector copies it out — the allocation storm behind
+// the old 2.4x bytes/op blow-up from one worker to two.
+var matchedPool = sync.Pool{
+	New: func() any { return make([]trace.Event, 0, 512) },
+}
+
+func getMatched() []trace.Event { return matchedPool.Get().([]trace.Event)[:0] }
+
+func putMatched(s []trace.Event) {
+	clear(s[:cap(s)]) // events hold maps; don't pin them from the pool
+	matchedPool.Put(s[:0])
+}
+
 // scanSegment runs the record-selection tier over one segment: the
 // exact body of shardCursor.loadNext, minus the merge (which must stay
-// in task order and so runs on the collector).
+// in task order and so runs on the collector). res.matched is a pooled
+// scratch buffer; the collector owns returning it.
 func scanSegment(q *Query, rs *store.ReaderSegment) scanResult {
-	res := scanResult{scanned: 1}
+	res := scanResult{scanned: 1, matched: getMatched()}
 	seg, err := rs.Load()
 	if err != nil && !errors.Is(err, store.ErrTruncated) {
+		putMatched(res.matched)
 		return scanResult{err: err}
 	}
 	res.records = len(seg.Recs)
@@ -132,8 +152,9 @@ func runParallel(rd *store.Reader, q *Query, workers int) (*Result, error) {
 	}()
 
 	// In-order fold: buffer out-of-order arrivals, consume strictly by
-	// task index so each shard's buffer is built by the same
-	// trace.Merge fold as the sequential cursor.
+	// task index, appending each segment's matches to its shard buffer.
+	// One stable sort per shard afterwards reproduces the sequential
+	// cursor's trace.Merge fold without its quadratic reallocation.
 	bufs := make([][]trace.Event, len(shards))
 	pending := make(map[int]scanResult, 2*workers)
 	var firstErr error
@@ -161,11 +182,16 @@ func runParallel(rd *store.Reader, q *Query, workers int) (*Result, error) {
 			res.Stats.Records += nr.records
 			res.Stats.BadLines += nr.bad
 			res.Stats.Matched += len(nr.matched)
-			bufs[nr.shard] = trace.Merge(bufs[nr.shard], nr.matched)
+			bufs[nr.shard] = append(bufs[nr.shard], nr.matched...)
+			putMatched(nr.matched)
 		}
 	}
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	for s := range bufs {
+		buf := bufs[s]
+		sort.SliceStable(buf, func(i, j int) bool { return buf[i].CPUTime < buf[j].CPUTime })
 	}
 
 	// Cross-shard merge: the same cursorHeap as Scan, over cursors whose

@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dpm/internal/kernel"
+	"dpm/internal/meter"
+)
+
+func TestShapeRates(t *testing.T) {
+	d := Diurnal{Base: 10, Peak: 110, Period: time.Minute}
+	if r := d.Rate(0); math.Abs(r-10) > 0.01 {
+		t.Fatalf("diurnal trough = %v, want 10", r)
+	}
+	if r := d.Rate(30 * time.Second); math.Abs(r-110) > 0.01 {
+		t.Fatalf("diurnal peak = %v, want 110", r)
+	}
+	if r := d.Rate(15 * time.Second); math.Abs(r-60) > 0.01 {
+		t.Fatalf("diurnal midpoint = %v, want 60", r)
+	}
+	if r := (Diurnal{Base: 5}).Rate(time.Hour); r != 5 {
+		t.Fatalf("zero-period diurnal = %v, want base", r)
+	}
+
+	b := Bursts{Base: 2, BurstRate: 500, Every: 10 * time.Second, Length: time.Second}
+	if r := b.Rate(10*time.Second + 500*time.Millisecond); r != 500 {
+		t.Fatalf("inside burst = %v, want 500", r)
+	}
+	if r := b.Rate(5 * time.Second); r != 2 {
+		t.Fatalf("between bursts = %v, want 2", r)
+	}
+	if r := (Steady{PerSec: 7}).Rate(time.Hour); r != 7 {
+		t.Fatalf("steady = %v, want 7", r)
+	}
+}
+
+// TestTrafficSourceToSink runs a shaped source task on one machine
+// against a sink task on another: cross-machine datagrams, no
+// goroutines per process, counts on both ends.
+func TestTrafficSourceToSink(t *testing.T) {
+	c := kernel.NewCluster(kernel.Config{})
+	c.AddNetwork("ether0")
+	src, err := c.AddMachine("src", nil, "ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := c.AddMachine("dst", nil, "ether0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.AddAccount(100, "user")
+	dst.AddAccount(100, "user")
+	t.Cleanup(c.Shutdown)
+
+	stats := &TrafficStats{}
+	if _, err := dst.SpawnTask(100, "sink", NewSinkTask(7100, stats)); err != nil {
+		t.Fatal(err)
+	}
+	dest := meter.InetName(dst.PrimaryHostID(), 7100)
+	gen, err := src.SpawnTask(100, "gen", NewTrafficTask(Steady{PerSec: 500}, dest, 64, stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for stats.Received.Load() < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sink received %d datagrams (sent %d), want >= 20",
+				stats.Received.Load(), stats.Sent.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := src.Signal(gen.PID(), kernel.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if sent := stats.Sent.Load(); sent < 20 {
+		t.Fatalf("source sent %d, want >= 20", sent)
+	}
+}
+
+// TestFanOutFanIn runs the microservice call tree through the full
+// system: a frontend on red scatters to backends on green and blue and
+// gathers every reply, with the computation metered through a filter.
+func TestFanOutFanIn(t *testing.T) {
+	s, ctl, _ := newSys(t)
+	if err := RegisterTraffic(s); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Exec("filter f blue")
+	ctl.Exec("newjob fan")
+	ctl.Exec("setflags fan send receive termproc")
+	ctl.Exec("addprocess fan green fan-backend")
+	ctl.Exec("addprocess fan blue fan-backend")
+	ctl.Exec("startjob fan")
+
+	// Datagrams to an unbound port are silently dropped; wait for the
+	// backends before the first scatter so round 0 is answerable.
+	for _, name := range []string{"green", "blue"} {
+		bm, err := s.Cluster.Machine(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for !bm.PortBound(kernel.SockDgram, FanPort) {
+			if time.Now().After(deadline) {
+				t.Fatalf("backend on %s never bound port %d", name, FanPort)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	m, err := s.Cluster.Machine("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Spawn(kernel.SpawnSpec{
+		UID: 100, Name: "fan-frontend", Program: FrontendMain,
+		Args: []string{"green", "blue", "4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, reason := p.WaitExit()
+	if status != 0 || reason != kernel.ReasonNormal {
+		t.Fatalf("frontend exit = (%d, %s): %d rounds short of a full reply set",
+			status, reason, status)
+	}
+}

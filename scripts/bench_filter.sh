@@ -1,7 +1,9 @@
 #!/bin/sh
 # Runs the filter hot-path and store ingest benchmarks with -benchmem
 # and writes the results as JSON (default: BENCH_filter.json at the
-# repo root). CI runs this and archives the file; the allocation
+# repo root), then the cluster-density benchmarks into a second file
+# (default: BENCH_scale.json). CI runs this and archives both; the
+# allocation
 # regression gates are the testing.AllocsPerRun tests
 # (internal/filter/alloc_test.go, internal/store/batch_test.go), which
 # fail `go test` outright if a hot-path allocation creeps back in.
@@ -13,8 +15,10 @@
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_filter.json}"
+scale_out="${2:-BENCH_scale.json}"
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+scale_tmp="$(mktemp)"
+trap 'rm -f "$tmp" "$scale_tmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkFilterEngine$|BenchmarkFilterEngineProcess$' -benchmem -benchtime=200000x . >"$tmp"
 go test -run '^$' -bench 'BenchmarkStoreIngest$' -benchmem -benchtime=1600000x . >>"$tmp"
@@ -45,6 +49,22 @@ if [ -n "$bad" ]; then
     exit 1
 fi
 
+# Memory gate for the parallel query path: a second worker must not
+# multiply bytes per query (the pooled-buffer fix; the Go-level gate is
+# internal/query/alloc_test.go). 1.25x leaves slack over the ~1.2x
+# target for heap noise between runs.
+awk '
+$1 == "BenchmarkQueryParallel/workers=1" { for (i = 3; i < NF; i++) if ($(i+1) == "B/op") seq = $i }
+$1 == "BenchmarkQueryParallel/workers=2" { for (i = 3; i < NF; i++) if ($(i+1) == "B/op") par = $i }
+END {
+    if (seq + 0 <= 0 || par + 0 <= 0) { print "bench_filter.sh: missing QueryParallel B/op results" > "/dev/stderr"; exit 1 }
+    ratio = par / seq
+    if (ratio > 1.25) {
+        printf "bench_filter.sh: QueryParallel workers=2 allocates %d B/op vs %d sequential (%.2fx), gate is 1.25x\n", par, seq, ratio > "/dev/stderr"
+        exit 1
+    }
+}' "$tmp"
+
 awk '
 BEGIN { print "{"; print "  \"generated_by\": \"scripts/bench_filter.sh\","; print "  \"benchmarks\": [" }
 /^Benchmark/ {
@@ -72,3 +92,41 @@ if [ "$json_entries" -ne "$bench_lines" ]; then
 fi
 
 echo "wrote $out ($json_entries benchmarks)"
+
+# Cluster-density benchmarks (bench_scale_test.go): machine boot cost
+# and fabric delivery rate, archived as BENCH_scale.json next to the
+# scale soak's ceilings. Fixed iteration counts for run-to-run
+# comparability.
+go test -run '^$' -bench 'BenchmarkClusterBoot' -benchtime=10x . >"$scale_tmp"
+go test -run '^$' -bench 'BenchmarkDatagramFabric' -benchtime=50000x . >>"$scale_tmp"
+
+scale_lines=$(grep -c '^Benchmark' "$scale_tmp" || true)
+if [ "$scale_lines" -eq 0 ]; then
+    echo "bench_filter.sh: no scale benchmark results produced" >&2
+    exit 1
+fi
+
+awk '
+BEGIN { print "{"; print "  \"generated_by\": \"scripts/bench_filter.sh\","; print "  \"benchmarks\": [" }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = "null"; boot = "null"; bpm = "null"; dps = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")               ns   = $i
+        if ($(i+1) == "boot_ms")             boot = $i
+        if ($(i+1) == "alloc_bytes/machine") bpm  = $i
+        if ($(i+1) == "dgrams/s")            dps  = $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"boot_ms\": %s, \"alloc_bytes_per_machine\": %s, \"dgrams_per_s\": %s}", name, iters, ns, boot, bpm, dps
+}
+END { print ""; print "  ]"; print "}" }
+' "$scale_tmp" >"$scale_out"
+
+scale_entries=$(grep -c '"name":' "$scale_out" || true)
+if [ "$scale_entries" -ne "$scale_lines" ]; then
+    echo "bench_filter.sh: scale JSON emit failed: $scale_entries entries for $scale_lines benchmarks" >&2
+    exit 1
+fi
+
+echo "wrote $scale_out ($scale_entries benchmarks)"
