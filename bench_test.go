@@ -797,6 +797,55 @@ func BenchmarkStoreIngestBatch(b *testing.B) {
 	}
 }
 
+// S1 compressed: the batched ingest through the v2 block-compressed
+// writer — delta/varint metadata, front-coded lines, streaming DEFLATE
+// at flush time. ns/op is per 16-record batch, comparable directly
+// with BenchmarkStoreIngestBatch; compression-x is the v1-equivalent
+// bytes over bytes actually on disk after sealing.
+func BenchmarkStoreIngestCompressed(b *testing.B) {
+	events := syntheticTrace(64)
+	var bytes int64
+	recs := make([]store.BatchRec, len(events))
+	for i := range events {
+		e := &events[i]
+		recs[i] = store.BatchRec{
+			Meta: store.Meta{
+				Machine: uint16(e.Machine), Time: uint32(e.CPUTime),
+				Type: uint32(e.Type), PID: uint32(e.Fields["pid"]),
+			},
+			Line: []byte(e.Format()),
+		}
+		bytes += int64(len(recs[i].Line))
+	}
+	st, err := store.Open(store.NewMemBackend(), store.Config{Compress: store.CompressBlocks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 16
+	b.SetBytes(bytes / int64(len(recs)) * batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := i * batchSize % len(recs)
+		if err := st.AppendBatch(recs[off : off+batchSize]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := st.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	var raw, disk int
+	for _, info := range st.Segments() {
+		raw += info.Bytes
+		disk += info.DiskBytes
+	}
+	if disk > 0 {
+		b.ReportMetric(float64(raw)/float64(disk), "compression-x")
+		b.ReportMetric(float64(disk), "bytes_on_disk")
+	}
+}
+
 // S2: segment pruning. A selective query (tight time range plus a
 // machine predicate) over a multi-segment store should scan only the
 // segments whose footer indexes intersect the predicate envelope;
@@ -852,6 +901,73 @@ func BenchmarkQuerySegmentPruning(b *testing.B) {
 			}
 			b.ReportMetric(float64(st.Segments), "segments")
 			b.ReportMetric(float64(st.Scanned), "segments-scanned")
+		})
+	}
+}
+
+// S2 block: zone-map pruning inside compressed segments. The same
+// selective query as BenchmarkQuerySegmentPruning runs against the
+// same 4000 events stored two ways: many small uncompressed segments
+// (pruned per segment by footer index — the old granularity) and a few
+// large compressed segments with small blocks (pruned per block by
+// zone map). Block pruning must match segment pruning's cost while
+// reading several-x fewer bytes from disk.
+func BenchmarkQueryBlockPruned(b *testing.B) {
+	events := syntheticTrace(4000)
+	build := func(cfg store.Config) *store.Reader {
+		be := store.NewMemBackend()
+		st, err := store.Open(be, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range events {
+			e := &events[i]
+			m := store.Meta{
+				Machine: uint16(e.Machine), Time: uint32(e.CPUTime),
+				Type: uint32(e.Type), PID: uint32(e.Fields["pid"]),
+			}
+			if err := st.Append(m, e.Format()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		rd, err := store.OpenReader(be)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rd
+	}
+	const rules = "machine=2,cpuTime>=1000,cpuTime<1200,type=1"
+	for _, mode := range []struct {
+		name string
+		rd   *store.Reader
+	}{
+		{"segment-pruned", build(store.Config{SegmentCap: 2048})},
+		{"block-pruned", build(store.Config{
+			SegmentCap: 16384, BlockTarget: 2048, Compress: store.CompressBlocks,
+		})},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var st query.Stats
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q, err := query.Compile(rules)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := query.Run(mode.rd, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Events) == 0 {
+					b.Fatal("selective query matched nothing")
+				}
+				st = res.Stats
+			}
+			b.ReportMetric(float64(st.Scanned), "segments-scanned")
+			b.ReportMetric(float64(st.BlocksPruned), "blocks-pruned")
 		})
 	}
 }

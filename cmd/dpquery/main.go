@@ -5,6 +5,7 @@
 //
 //	dpquery -store dir [-no-prune] [-workers n] [-stats] [-report] [-json] [rule...]
 //	dpquery -store dir -agg [-json] [rule...] 'agg ...'|'top ...'
+//	dpquery -store dir -segments
 //
 // Each rule argument is one alternative (an OR line of a templates
 // file) in the Figure 3.3/3.4 syntax, conditions comma-separated:
@@ -42,17 +43,51 @@ import (
 	"dpm/internal/store"
 )
 
+// listSegments prints the physical layout of the store: one line per
+// segment (tier, format, record count, on-disk compression ratio) and,
+// for block-compressed segments, one line per block with its zone map —
+// the ranges the pruning decisions in query/agg are made from.
+func listSegments(rd *store.Reader) {
+	for sh, segs := range rd.Shards() {
+		for _, rs := range segs {
+			state := "unsealed"
+			if rs.Sealed {
+				state = "sealed"
+			}
+			format := fmt.Sprintf("v%d", rs.FormatVersion())
+			raw, disk := rs.RawBytes(), rs.DiskBytes()
+			ratio := 1.0
+			if disk > 0 {
+				ratio = float64(raw) / float64(disk)
+			}
+			fmt.Printf("shard %d  %s  %s tier=%d %s  records=%d  raw=%d disk=%d ratio=%.2fx",
+				sh, rs.Name, state, rs.Tier, format, rs.Index.Count, raw, disk, ratio)
+			blocks := rs.Blocks()
+			if len(blocks) > 0 {
+				fmt.Printf("  blocks=%d", len(blocks))
+			}
+			fmt.Println()
+			for i, b := range blocks {
+				fmt.Printf("  block %d  records=%d raw=%d comp=%d  cpuTime=[%d..%d]  machines=%016x types=%08x\n",
+					i, b.Index.Count, b.RawLen, b.CompLen, b.Index.MinTime, b.Index.MaxTime,
+					b.Index.Machines, b.Index.Types)
+			}
+		}
+	}
+}
+
 func main() {
 	dir := flag.String("store", "", "event store directory (required)")
 	noPrune := flag.Bool("no-prune", false, "scan every segment, ignoring footer indexes")
 	workers := flag.Int("workers", 1, "segment-scan parallelism (1 = sequential; results identical)")
 	stats := flag.Bool("stats", false, "print scan statistics to standard error")
 	report := flag.Bool("report", false, "print the analysis report instead of the records")
+	segments := flag.Bool("segments", false, "list segments (tier, compression, blocks, zone maps) and exit")
 	aggregate := flag.Bool("agg", false, "aggregate mode: one argument is an 'agg ...' or 'top ...' line")
 	asJSON := flag.Bool("json", false, "machine-readable JSON output")
 	flag.Parse()
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: dpquery -store dir [-no-prune] [-workers n] [-stats] [-report] [-agg] [-json] [rule...]")
+		fmt.Fprintln(os.Stderr, "usage: dpquery -store dir [-no-prune] [-workers n] [-stats] [-report] [-agg] [-json] [-segments] [rule...]")
 		os.Exit(2)
 	}
 
@@ -61,6 +96,11 @@ func main() {
 		log.Fatal(err)
 	}
 	text := strings.Join(flag.Args(), "\n")
+
+	if *segments {
+		listSegments(rd)
+		return
+	}
 
 	if *aggregate {
 		aq, err := agg.Compile(text)

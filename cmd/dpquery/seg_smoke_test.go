@@ -1,0 +1,33 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"dpm/internal/store"
+)
+
+func TestSegmentsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(store.NewDirBackend(dir), store.Config{
+		Shards: 2, SegmentCap: 2048, Compress: store.CompressBlocks, BlockTarget: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		m := store.Meta{Machine: uint16(i % 4), PID: uint32(100 + i%8), Type: uint32(i % 6), Time: uint32(i * 10)}
+		line := fmt.Sprintf("%d %d %d %d send msgLength=%d t=%d", m.Time, m.Machine, m.PID, m.Type, 100+i%5, i)
+		if err := st.Append(m, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := store.OpenReader(store.NewDirBackend(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	listSegments(rd)
+}

@@ -134,6 +134,8 @@ func evalParallel(segs []*store.ReaderSegment, aq *Query, opt Options, stats que
 	span.End()
 	for _, s := range statsv {
 		stats.Scanned += s.Scanned
+		stats.Blocks += s.Blocks
+		stats.BlocksPruned += s.BlocksPruned
 		stats.Records += s.Records
 		stats.Matched += s.Matched
 		stats.BadLines += s.BadLines
@@ -145,24 +147,23 @@ func evalParallel(segs []*store.ReaderSegment, aq *Query, opt Options, stats que
 // the partial. A torn unsealed tail is tolerated, as everywhere else;
 // corruption of a sealed segment is fatal.
 func foldSegment(p *Partial, rs *store.ReaderSegment, aq *Query, stats *query.Stats) error {
-	seg, err := rs.Load()
-	if err != nil && !errors.Is(err, store.ErrTruncated) {
-		return err
-	}
 	stats.Scanned++
-	stats.Records += len(seg.Recs)
 	sketch := aq.Spec.Fn.NeedsSketch()
 	maxGroups := aq.Spec.maxGroups()
-	for _, rec := range seg.Recs {
-		evs, err := trace.ParseLog([]byte(rec.Line))
-		if err != nil || len(evs) != 1 {
+	admit := aq.Sel.Admits
+	if aq.Sel.NoPrune {
+		admit = nil
+	}
+	d := store.AcquireDecoder()
+	st, err := rs.Scan(d, admit, func(m store.Meta, line []byte) {
+		ev, perr := trace.ParseOne(line)
+		if perr != nil {
 			stats.BadLines++
-			continue
+			return
 		}
-		ev := evs[0]
 		ok, _ := aq.Sel.Match(&ev)
 		if !ok {
-			continue
+			return
 		}
 		stats.Matched++
 		p.Records++
@@ -170,20 +171,27 @@ func foldSegment(p *Partial, rs *store.ReaderSegment, aq *Query, stats *query.St
 		key, ok := aq.Spec.keyOf(&ev)
 		if !ok {
 			p.Skipped++
-			continue
+			return
 		}
 		v := uint64(1)
 		if aq.Spec.Fn.NeedsField() {
 			fv, ok := fieldOf(&ev, aq.Spec.Field)
 			if !ok {
 				p.Skipped++
-				continue
+				return
 			}
 			v = fv
 		}
 		if !p.fold(key, v, sketch, maxGroups) {
 			p.Dropped++
 		}
+	})
+	store.ReleaseDecoder(d)
+	stats.Records += st.Records
+	stats.Blocks += st.Blocks
+	stats.BlocksPruned += st.BlocksPruned
+	if err != nil && !errors.Is(err, store.ErrTruncated) {
+		return err
 	}
 	return nil
 }

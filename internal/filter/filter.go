@@ -356,7 +356,15 @@ func Main(p *kernel.Process) int {
 	// hangs its metrics on the machine's registry, so one stats request
 	// to the local daemon sees the whole node.
 	reg := p.Machine().Obs()
-	st, err := store.Open(store.NewFsysBackend(p.Machine().FS(), p.UID(), StorePath(name)), store.Config{Obs: reg})
+	// Sealed segments are block-compressed, and segments a cpuTime
+	// half-minute colder than the newest record roll into the archival
+	// tier; records are never expired here (RetainFor stays 0 — the
+	// flat log and the store must answer identically).
+	st, err := store.Open(store.NewFsysBackend(p.Machine().FS(), p.UID(), StorePath(name)), store.Config{
+		Obs:          reg,
+		Compress:     store.CompressBlocks,
+		ArchiveAfter: 30_000,
+	})
 	if err != nil {
 		p.Printf("filter: store: %v\n", err)
 		return 1

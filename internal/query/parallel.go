@@ -49,6 +49,8 @@ type scanResult struct {
 	shard   int
 	matched []trace.Event
 	scanned int // 1 per load attempt (mirrors stats.Scanned)
+	blocks  int
+	pruned  int // blocks skipped on zone-map evidence
 	records int
 	bad     int
 	err     error
@@ -75,24 +77,28 @@ func putMatched(s []trace.Event) {
 // scratch buffer; the collector owns returning it.
 func scanSegment(q *Query, rs *store.ReaderSegment) scanResult {
 	res := scanResult{scanned: 1, matched: getMatched()}
-	seg, err := rs.Load()
+	admit := q.Admits
+	if q.NoPrune {
+		admit = nil
+	}
+	d := store.AcquireDecoder()
+	st, err := rs.Scan(d, admit, func(m store.Meta, line []byte) {
+		ev, perr := trace.ParseOne(line)
+		if perr != nil {
+			res.bad++
+			return
+		}
+		ok, discards := q.Match(&ev)
+		if !ok {
+			return
+		}
+		res.matched = append(res.matched, project(ev, discards))
+	})
+	store.ReleaseDecoder(d)
+	res.records, res.blocks, res.pruned = st.Records, st.Blocks, st.BlocksPruned
 	if err != nil && !errors.Is(err, store.ErrTruncated) {
 		putMatched(res.matched)
 		return scanResult{err: err}
-	}
-	res.records = len(seg.Recs)
-	for _, rec := range seg.Recs {
-		evs, err := trace.ParseLog([]byte(rec.Line))
-		if err != nil || len(evs) != 1 {
-			res.bad++
-			continue
-		}
-		ev := evs[0]
-		ok, discards := q.Match(&ev)
-		if !ok {
-			continue
-		}
-		res.matched = append(res.matched, project(ev, discards))
 	}
 	return res
 }
@@ -179,6 +185,8 @@ func runParallel(rd *store.Reader, q *Query, workers int) (*Result, error) {
 				continue
 			}
 			res.Stats.Scanned += nr.scanned
+			res.Stats.Blocks += nr.blocks
+			res.Stats.BlocksPruned += nr.pruned
 			res.Stats.Records += nr.records
 			res.Stats.BadLines += nr.bad
 			res.Stats.Matched += len(nr.matched)

@@ -271,12 +271,14 @@ func project(e trace.Event, discards map[string]bool) trace.Event {
 
 // Stats describes how a query executed.
 type Stats struct {
-	Segments int // segments in the store snapshot
-	Scanned  int // segments whose frames were parsed
-	Pruned   int // segments skipped on footer evidence alone
-	Records  int // records examined in scanned segments
-	Matched  int // records selected
-	BadLines int // stored lines the trace parser rejected (skipped)
+	Segments     int // segments in the store snapshot
+	Scanned      int // segments whose frames were parsed
+	Pruned       int // segments skipped on footer evidence alone
+	Blocks       int // blocks (or streams/frame runs) visited in scanned segments
+	BlocksPruned int // compressed blocks skipped on zone-map evidence
+	Records      int // records examined in scanned segments
+	Matched      int // records selected
+	BadLines     int // stored lines the trace parser rejected (skipped)
 }
 
 // String renders the stats in the form the controller prints.
@@ -359,32 +361,40 @@ func (c *shardCursor) ready() (bool, error) {
 	}
 }
 
-// loadNext parses the next admitted segment and merges its matching
-// events into the buffer. A torn unsealed tail is tolerated, as with
-// trace logs; corruption of a sealed segment is fatal to the query.
+// loadNext scans the next admitted segment and merges its matching
+// events into the buffer. Compressed segments decompress only the
+// blocks the query's envelope admits, through a pooled decoder. A torn
+// unsealed tail is tolerated, as with trace logs; corruption of a
+// sealed segment is fatal to the query.
 func (c *shardCursor) loadNext() error {
 	rs := c.segs[0]
 	c.segs = c.segs[1:]
-	seg, err := rs.Load()
-	if err != nil && !errors.Is(err, store.ErrTruncated) {
-		return err
-	}
 	c.stats.Scanned++
-	c.stats.Records += len(seg.Recs)
+	admit := c.q.Admits
+	if c.q.NoPrune {
+		admit = nil
+	}
 	var matched []trace.Event
-	for _, rec := range seg.Recs {
-		evs, err := trace.ParseLog([]byte(rec.Line))
-		if err != nil || len(evs) != 1 {
+	d := store.AcquireDecoder()
+	st, err := rs.Scan(d, admit, func(m store.Meta, line []byte) {
+		ev, perr := trace.ParseOne(line)
+		if perr != nil {
 			c.stats.BadLines++
-			continue
+			return
 		}
-		ev := evs[0]
 		ok, discards := c.q.Match(&ev)
 		if !ok {
-			continue
+			return
 		}
 		c.stats.Matched++
 		matched = append(matched, project(ev, discards))
+	})
+	store.ReleaseDecoder(d)
+	c.stats.Records += st.Records
+	c.stats.Blocks += st.Blocks
+	c.stats.BlocksPruned += st.BlocksPruned
+	if err != nil && !errors.Is(err, store.ErrTruncated) {
+		return err
 	}
 	c.buf = trace.Merge(c.buf[c.idx:], matched)
 	c.idx = 0

@@ -17,6 +17,21 @@ func fuzzSeedSegment() []byte {
 	return AppendFooter(frames, x, uint32(len(frames)))
 }
 
+// fuzzSeedV2 builds a small sealed block-compressed (v2) segment with
+// several blocks and a shared dictionary worth corrupting.
+func fuzzSeedV2() []byte {
+	var recs []Rec
+	for i := 0; i < 40; i++ {
+		m := Meta{Machine: uint16(i % 3), Time: uint32(i * 100), Type: uint32(i%4 + 1), PID: uint32(50 + i%5)}
+		recs = append(recs, Rec{Meta: m, Line: "SEND machine=1 cpuTime=1 procTime=0 pid=1 msgLength=240"})
+	}
+	out, err := encodeSegmentV2(recs, 0, 256)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
 // FuzzParseSegment checks the segment parser on arbitrary bytes: it
 // must never panic, and whatever valid record prefix it salvages must
 // re-encode to a segment that parses back to the same records — the
@@ -38,6 +53,29 @@ func FuzzParseSegment(f *testing.F) {
 	f.Add(flipped)
 	// Garbage.
 	f.Add([]byte("not a segment at all, just text pretending"))
+	// Block-compressed (v2) seeds.
+	v2 := fuzzSeedV2()
+	f.Add(v2)
+	// Truncated inside the first block's DEFLATE stream — the footer is
+	// gone, so the parser must fall back to the unsealed stream walk and
+	// salvage the decodable prefix.
+	f.Add(v2[:headerV2Size+3])
+	// Unsealed v2: header plus data region only, no footer at all.
+	if fv2, ok := parseFooterV2(v2); ok {
+		f.Add(v2[:fv2.DataLen])
+		// Corrupt dictionary: flip a byte in the footer body (dictionary +
+		// block table). The body CRC no longer matches, demoting the
+		// segment to the unsealed salvage walk over its blocks.
+		corruptDict := append([]byte(nil), v2...)
+		corruptDict[fv2.DataLen+1] ^= 0xff
+		f.Add(corruptDict)
+	}
+	// CRC flip inside a compressed block of a sealed v2 segment: the
+	// footer still verifies, the damaged block must surface ErrCorrupt
+	// after the blocks before it were emitted.
+	blockFlip := append([]byte(nil), v2...)
+	blockFlip[headerV2Size+5] ^= 0xff
+	f.Add(blockFlip)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seg, err := ParseSegment(data)
 		if seg == nil {

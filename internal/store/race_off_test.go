@@ -1,0 +1,8 @@
+//go:build !race
+
+package store
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which inflates allocation counts and invalidates the
+// zero-alloc gates.
+const raceEnabled = false

@@ -161,28 +161,38 @@ func FrameSize(lineLen int) int { return frameHeadSize + metaSize + lineLen }
 // parseFrame decodes the frame at off, returning the record and the
 // offset of the next frame.
 func parseFrame(data []byte, off int) (Rec, int, error) {
+	m, line, next, err := parseFrameBytes(data, off)
+	if err != nil {
+		return Rec{}, off, err
+	}
+	return Rec{Meta: m, Line: string(line)}, next, nil
+}
+
+// parseFrameBytes is parseFrame without the line copy: the returned
+// line aliases data, for scan paths that consume it before moving on.
+func parseFrameBytes(data []byte, off int) (Meta, []byte, int, error) {
 	le := binary.LittleEndian
 	if off+frameHeadSize > len(data) {
-		return Rec{}, off, fmt.Errorf("frame header overruns data at offset %d", off)
+		return Meta{}, nil, off, fmt.Errorf("frame header overruns data at offset %d", off)
 	}
 	n := int(le.Uint32(data[off : off+4]))
 	if n < metaSize || n > MaxFrameSize {
-		return Rec{}, off, fmt.Errorf("bad frame length %d at offset %d", n, off)
+		return Meta{}, nil, off, fmt.Errorf("bad frame length %d at offset %d", n, off)
 	}
 	if off+frameHeadSize+n > len(data) {
-		return Rec{}, off, fmt.Errorf("frame body overruns data at offset %d", off)
+		return Meta{}, nil, off, fmt.Errorf("frame body overruns data at offset %d", off)
 	}
 	crc := le.Uint32(data[off+4 : off+8])
 	payload := data[off+frameHeadSize : off+frameHeadSize+n]
 	if crc32.ChecksumIEEE(payload) != crc {
-		return Rec{}, off, fmt.Errorf("frame checksum mismatch at offset %d", off)
+		return Meta{}, nil, off, fmt.Errorf("frame checksum mismatch at offset %d", off)
 	}
 	var m Meta
 	m.Machine = le.Uint16(payload[0:2])
 	m.Time = le.Uint32(payload[2:6])
 	m.Type = le.Uint32(payload[6:10])
 	m.PID = le.Uint32(payload[10:14])
-	return Rec{Meta: m, Line: string(payload[metaSize:])}, off + frameHeadSize + n, nil
+	return m, payload[metaSize:], off + frameHeadSize + n, nil
 }
 
 // AppendFooter appends a sealed segment's footer for the given index
@@ -252,6 +262,41 @@ type Segment struct {
 // a mangled footer degrades to (its frames still verify; only the
 // index is lost).
 func ParseSegment(data []byte) (*Segment, error) {
+	// Compressed (v2) segments: a sealed one has a footer-v2 tail; an
+	// unsealed one starts with the v2 header and is salvaged stream by
+	// stream — each online flush ends on a flate sync marker, so every
+	// acknowledged batch sits in a decodable prefix.
+	if f, ok := parseFooterV2(data); ok {
+		s := &Segment{Sealed: true, Index: f.Index}
+		d := AcquireDecoder()
+		defer ReleaseDecoder(d)
+		region := data[headerV2Size:f.DataLen]
+		for i, b := range f.Blocks {
+			_, err := d.decodeBlock(region[b.Off:b.Off+b.CompLen], b.RawLen, b.CRC, f.Dict, func(m Meta, line []byte) {
+				s.Recs = append(s.Recs, Rec{Meta: m, Line: string(line)})
+			})
+			if err != nil {
+				return s, fmt.Errorf("%w: block %d: %v", ErrCorrupt, i, err)
+			}
+		}
+		if uint32(len(s.Recs)) != f.Index.Count {
+			return s, fmt.Errorf("%w: footer count %d but %d records", ErrCorrupt, f.Index.Count, len(s.Recs))
+		}
+		return s, nil
+	}
+	if len(data) >= headerV2Size && string(data[:len(segMagicV2)]) == segMagicV2 {
+		s := &Segment{}
+		d := AcquireDecoder()
+		defer ReleaseDecoder(d)
+		_, _, err := d.decodeStreams(data[headerV2Size:], func(m Meta, line []byte) {
+			s.Recs = append(s.Recs, Rec{Meta: m, Line: string(line)})
+			s.Index.Add(m)
+		})
+		if err != nil {
+			return s, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		return s, nil
+	}
 	if x, dataLen, ok := ParseFooter(data); ok {
 		s := &Segment{Sealed: true, Index: x}
 		off := 0

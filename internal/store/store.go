@@ -1,10 +1,12 @@
 package store
 
 import (
+	"compress/flate"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dpm/internal/obs"
 )
@@ -22,6 +24,29 @@ type Config struct {
 	// CompactMin is the number of adjacent small sealed segments (under
 	// half of SegmentCap) that triggers compaction into one.
 	CompactMin int
+	// Compress selects the segment encoding: CompressOff writes the v1
+	// CRC-framed format, CompressBlocks the v2 block-compressed format
+	// (see compress.go). Reads understand both regardless.
+	Compress CompressMode
+	// CompressLevel is the flate level for CompressBlocks; 0 selects
+	// flate.BestSpeed (the ingest path cannot afford more, and the
+	// archival tier recompresses at BestCompression anyway).
+	CompressLevel int
+	// BlockTarget is the v1-equivalent byte size of one compressed
+	// block — the granularity of zone-map pruning. 0 selects
+	// DefaultBlockTarget.
+	BlockTarget int
+	// ArchiveAfter, when non-zero, is the cpuTime age (ms behind the
+	// newest record the store has seen) past which cold sealed segments
+	// roll into the archival tier: re-encoded at BestCompression, up to
+	// archiveRunMax segments merged per archive file. Archival preserves
+	// every record; only its encoding changes.
+	ArchiveAfter uint64
+	// RetainFor, when non-zero, is the retention horizon (cpuTime ms):
+	// a sealed segment whose MaxTime has fallen more than RetainFor
+	// behind the newest record is expired — removed, records and all —
+	// on the next maintenance pass.
+	RetainFor uint64
 	// Obs is the registry the store's counters and latency histograms
 	// live in (store.*); nil gets a private registry.
 	Obs *obs.Registry
@@ -32,6 +57,10 @@ const (
 	DefaultShards     = 4
 	DefaultSegmentCap = 32 << 10
 	DefaultCompactMin = 4
+
+	// archiveRunMax caps how many cold segments one archival pass merges
+	// into a single tier-1 file.
+	archiveRunMax = 8
 )
 
 func (c Config) withDefaults() Config {
@@ -44,6 +73,9 @@ func (c Config) withDefaults() Config {
 	if c.CompactMin <= 0 {
 		c.CompactMin = DefaultCompactMin
 	}
+	if c.BlockTarget <= 0 {
+		c.BlockTarget = DefaultBlockTarget
+	}
 	return c
 }
 
@@ -52,30 +84,50 @@ type SegmentInfo struct {
 	Name  string
 	Shard int
 	// Start and End are the segment sequence range the file covers;
-	// rotation produces single-sequence segments and compaction widens
-	// the range.
+	// rotation produces single-sequence segments and compaction or
+	// archival widens the range.
 	Start, End int
-	// Bytes is the frame-data size (footer excluded).
-	Bytes  int
+	// Bytes is the v1-equivalent frame-data size — what the records
+	// would occupy CRC-framed, whatever the on-disk encoding — so
+	// rotation and compaction thresholds mean the same thing in both
+	// formats.
+	Bytes int
+	// DiskBytes is the sealed file's on-disk size (0 while active);
+	// Bytes/DiskBytes is the segment's compression ratio.
+	DiskBytes int
+	// Tier is 0 for the hot tier, 1 for the archival tier.
+	Tier   int
 	Index  Index
 	Sealed bool
 }
 
-func segName(shard, start, end int) string {
-	return fmt.Sprintf("s%d-%06d-%06d.seg", shard, start, end)
+func segName(shard, start, end, tier int) string {
+	prefix := "s"
+	if tier > 0 {
+		prefix = "a"
+	}
+	return fmt.Sprintf("%s%d-%06d-%06d.seg", prefix, shard, start, end)
 }
 
-func parseSegName(name string) (shard, start, end int, ok bool) {
-	if !strings.HasSuffix(name, ".seg") || !strings.HasPrefix(name, "s") {
-		return 0, 0, 0, false
+func parseSegName(name string) (shard, start, end, tier int, ok bool) {
+	if !strings.HasSuffix(name, ".seg") {
+		return 0, 0, 0, 0, false
 	}
-	if n, err := fmt.Sscanf(name, "s%d-%d-%d.seg", &shard, &start, &end); err != nil || n != 3 {
-		return 0, 0, 0, false
+	format := "s%d-%d-%d.seg"
+	switch {
+	case strings.HasPrefix(name, "s"):
+	case strings.HasPrefix(name, "a"):
+		tier, format = 1, "a%d-%d-%d.seg"
+	default:
+		return 0, 0, 0, 0, false
+	}
+	if n, err := fmt.Sscanf(name, format, &shard, &start, &end); err != nil || n != 3 {
+		return 0, 0, 0, 0, false
 	}
 	if shard < 0 || start < 1 || end < start {
-		return 0, 0, 0, false
+		return 0, 0, 0, 0, false
 	}
-	return shard, start, end, true
+	return shard, start, end, tier, true
 }
 
 // Stats counts a store's write-side traffic, in the style of the
@@ -85,6 +137,8 @@ type Stats struct {
 	Rotations   int // segments sealed because they reached SegmentCap
 	Compactions int // compaction runs performed
 	Recovered   int // segments re-sealed during Open recovery
+	Archived    int // segments rolled into the archival tier
+	Expired     int // segments removed past the retention horizon
 }
 
 // Store is a sharded segment writer. All methods are safe for
@@ -98,6 +152,10 @@ type Store struct {
 	statsMu sync.Mutex
 	stats   Stats
 
+	// maxSeen is the newest cpuTime any append has carried — the "now"
+	// that retention and archival ages are measured against.
+	maxSeen atomic.Uint64
+
 	// obs handles, resolved once in Open. The Stats struct above stays
 	// the legacy view; these mirror it into the machine registry plus
 	// the latencies the struct cannot carry.
@@ -105,9 +163,18 @@ type Store struct {
 	obsRotations   *obs.Counter
 	obsCompactions *obs.Counter
 	obsRecovered   *obs.Counter
+	obsAbandoned   *obs.Counter
+	obsArchived    *obs.Counter
+	obsArchiveRuns *obs.Counter
+	obsExpiredSegs *obs.Counter
+	obsExpiredRecs *obs.Counter
+	obsBlocks      *obs.Counter
+	obsRawBytes    *obs.Counter
+	obsCompBytes   *obs.Counter
 	appendNS       *obs.Histogram
 	rotateNS       *obs.Histogram
 	compactNS      *obs.Histogram
+	archiveNS      *obs.Histogram
 }
 
 type shard struct {
@@ -122,6 +189,9 @@ type shard struct {
 	// active segment's index only once the backend write succeeds.
 	scratch []byte
 	pending []Meta
+	// cw is the shard's v2 encoder (nil with CompressOff): records
+	// stage through it instead of the scratch framing buffer.
+	cw *compWriter
 }
 
 // Open opens (or creates) the store behind a backend. Existing sealed
@@ -145,24 +215,36 @@ func Open(be Backend, cfg Config) (*Store, error) {
 		obsRotations:   reg.Counter("store.rotations"),
 		obsCompactions: reg.Counter("store.compactions"),
 		obsRecovered:   reg.Counter("store.recovered"),
+		obsAbandoned:   reg.Counter("store.abandoned"),
+		obsArchived:    reg.Counter("store.archived_segments"),
+		obsArchiveRuns: reg.Counter("store.archive_runs"),
+		obsExpiredSegs: reg.Counter("store.expired_segments"),
+		obsExpiredRecs: reg.Counter("store.expired_records"),
+		obsBlocks:      reg.Counter("store.blocks"),
+		obsRawBytes:    reg.Counter("store.raw_bytes"),
+		obsCompBytes:   reg.Counter("store.compressed_bytes"),
 		appendNS:       reg.Histogram("store.append_ns"),
 		rotateNS:       reg.Histogram("store.rotate_ns"),
 		compactNS:      reg.Histogram("store.compact_ns"),
+		archiveNS:      reg.Histogram("store.archive_ns"),
 	}
 	byShard := make(map[int][]*SegmentInfo)
 	maxShard := cfg.Shards - 1
 	for _, name := range names {
-		sh, start, end, ok := parseSegName(name)
+		sh, start, end, tier, ok := parseSegName(name)
 		if !ok {
 			continue
 		}
 		if sh > maxShard {
 			maxShard = sh
 		}
-		byShard[sh] = append(byShard[sh], &SegmentInfo{Name: name, Shard: sh, Start: start, End: end})
+		byShard[sh] = append(byShard[sh], &SegmentInfo{Name: name, Shard: sh, Start: start, End: end, Tier: tier})
 	}
 	for i := 0; i <= maxShard; i++ {
 		sh := &shard{id: i, nextSeq: 1}
+		if cfg.Compress == CompressBlocks {
+			sh.cw = newCompWriter(cfg.CompressLevel, cfg.BlockTarget)
+		}
 		infos := byShard[i]
 		sort.Slice(infos, func(a, b int) bool { return infos[a].Start < infos[b].Start })
 		for _, info := range infos {
@@ -172,7 +254,8 @@ func Open(be Backend, cfg Config) (*Store, error) {
 			}
 			seg, perr := ParseSegment(data)
 			if perr != nil || !seg.Sealed {
-				if err := rewriteSealed(be, info.Name, seg.Recs); err != nil {
+				data, err = s.rewriteSealed(info.Name, seg.Recs)
+				if err != nil {
 					return nil, err
 				}
 				seg.Index = indexOf(seg.Recs)
@@ -182,8 +265,12 @@ func Open(be Backend, cfg Config) (*Store, error) {
 			info.Index = seg.Index
 			info.Sealed = true
 			info.Bytes = 0
+			info.DiskBytes = len(data)
 			for _, r := range seg.Recs {
 				info.Bytes += FrameSize(len(r.Line))
+			}
+			if seg.Index.Count > 0 && seg.Index.MaxTime > s.maxSeen.Load() {
+				s.maxSeen.Store(seg.Index.MaxTime)
 			}
 			sh.sealed = append(sh.sealed, info)
 			if info.End >= sh.nextSeq {
@@ -204,14 +291,27 @@ func indexOf(recs []Rec) Index {
 }
 
 // rewriteSealed replaces a segment file with a sealed re-encoding of
-// the given records.
-func rewriteSealed(be Backend, name string, recs []Rec) error {
+// the given records in the store's configured format, returning the
+// bytes written.
+func (s *Store) rewriteSealed(name string, recs []Rec) ([]byte, error) {
+	data, err := encodeRecs(recs, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return data, s.be.Create(name, data)
+}
+
+// encodeRecs encodes records as one sealed segment in the configured
+// format.
+func encodeRecs(recs []Rec, cfg Config) ([]byte, error) {
+	if cfg.Compress == CompressBlocks {
+		return encodeSegmentV2(recs, cfg.CompressLevel, cfg.BlockTarget)
+	}
 	var frames []byte
 	for _, r := range recs {
 		frames = AppendFrame(frames, r.Meta, r.Line)
 	}
-	data := AppendFooter(frames, indexOf(recs), uint32(len(frames)))
-	return be.Create(name, data)
+	return AppendFooter(frames, indexOf(recs), uint32(len(frames))), nil
 }
 
 // openLocked ensures the shard has an active segment. Caller holds
@@ -220,16 +320,47 @@ func (sh *shard) openLocked() {
 	if sh.active == nil {
 		seq := sh.nextSeq
 		sh.nextSeq++
-		sh.active = &SegmentInfo{Name: segName(sh.id, seq, seq), Shard: sh.id, Start: seq, End: seq}
+		sh.active = &SegmentInfo{Name: segName(sh.id, seq, seq, 0), Shard: sh.id, Start: seq, End: seq}
+		if sh.cw != nil {
+			sh.cw.openSegment()
+		}
 	}
 }
 
-// flushScratchLocked writes the shard's framed-but-unwritten scratch
-// bytes to the active segment, folds the pending metadata into its
-// index, and — when the segment has reached the cap — seals and
-// compacts it. On a backend error the scratch frames are dropped
-// unindexed, so the in-memory index never gets ahead of the file.
-// Caller holds sh.mu.
+// noteTime folds one flushed batch's newest cpuTime into the store's
+// high-water mark.
+func (s *Store) noteTime(t uint64) {
+	for {
+		cur := s.maxSeen.Load()
+		if t <= cur || s.maxSeen.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// stagedLocked is the v1-equivalent size of the shard's staged-but-
+// unflushed records. Caller holds sh.mu.
+func (s *Store) stagedLocked(sh *shard) int {
+	if sh.cw != nil {
+		return sh.cw.stagedV1
+	}
+	return len(sh.scratch)
+}
+
+// flushLocked writes the shard's staged records to the active segment,
+// folds the pending metadata into its index, and — when the segment
+// has reached the cap — seals, compacts, and runs retention
+// maintenance. Caller holds sh.mu.
+func (s *Store) flushLocked(sh *shard, rotations *int) error {
+	if sh.cw != nil {
+		return s.flushCompressedLocked(sh, rotations)
+	}
+	return s.flushScratchLocked(sh, rotations)
+}
+
+// flushScratchLocked is flushLocked's v1 half. On a backend error the
+// scratch frames are dropped unindexed, so the in-memory index never
+// gets ahead of the file. Caller holds sh.mu.
 func (s *Store) flushScratchLocked(sh *shard, rotations *int) error {
 	if len(sh.scratch) == 0 {
 		return nil
@@ -242,18 +373,87 @@ func (s *Store) flushScratchLocked(sh *shard, rotations *int) error {
 		return err
 	}
 	sh.active.Bytes += n
-	for _, m := range sh.pending {
-		sh.active.Index.Add(m)
-	}
-	sh.pending = sh.pending[:0]
+	s.foldPendingLocked(sh, nil)
 	if sh.active.Bytes >= s.cfg.SegmentCap {
 		if err := s.sealLocked(sh); err != nil {
 			return err
 		}
 		*rotations++
-		return s.compactLocked(sh)
+		if err := s.compactLocked(sh); err != nil {
+			return err
+		}
+		return s.maintainLocked(sh)
 	}
 	return nil
+}
+
+// flushCompressedLocked is flushLocked's v2 half: push the staged
+// payload through the shard's DEFLATE stream (ending on a sync marker,
+// so what lands in the file is a decodable prefix) and append the
+// compressed bytes. A backend error abandons the whole active segment
+// — the encoder's dictionary and front-coding state can no longer be
+// reconciled with the file, whose durable prefix the next Open
+// salvages. Caller holds sh.mu.
+func (s *Store) flushCompressedLocked(sh *shard, rotations *int) error {
+	w := sh.cw
+	if w.stagedN == 0 {
+		return nil
+	}
+	stagedV1 := w.stagedV1
+	if err := w.flushStaged(true); err != nil {
+		s.abandonLocked(sh)
+		return err
+	}
+	err := s.be.Append(sh.active.Name, w.sink.buf)
+	w.sink.buf = w.sink.buf[:0]
+	if err != nil {
+		s.abandonLocked(sh)
+		return err
+	}
+	sh.active.Bytes += stagedV1
+	s.foldPendingLocked(sh, w)
+	if sh.active.Bytes >= s.cfg.SegmentCap {
+		if err := s.sealLocked(sh); err != nil {
+			return err
+		}
+		*rotations++
+		if err := s.compactLocked(sh); err != nil {
+			return err
+		}
+		return s.maintainLocked(sh)
+	}
+	return nil
+}
+
+// foldPendingLocked folds the pending metadata into the active
+// segment's index (and the current block's zone map, when compressing)
+// after a successful backend write. Caller holds sh.mu.
+func (s *Store) foldPendingLocked(sh *shard, w *compWriter) {
+	var tmax uint64
+	for _, m := range sh.pending {
+		sh.active.Index.Add(m)
+		if w != nil {
+			w.foldMeta(m)
+		}
+		if uint64(m.Time) > tmax {
+			tmax = uint64(m.Time)
+		}
+	}
+	sh.pending = sh.pending[:0]
+	s.noteTime(tmax)
+}
+
+// abandonLocked drops the active segment after a failed compressed
+// write: its in-memory encoder state is unrecoverable, so the segment
+// is orphaned unindexed and its durable prefix left for the next
+// Open's salvage. Caller holds sh.mu.
+func (s *Store) abandonLocked(sh *shard) {
+	sh.pending = sh.pending[:0]
+	if sh.cw != nil {
+		sh.cw.sink.buf = sh.cw.sink.buf[:0]
+	}
+	sh.active = nil
+	s.obsAbandoned.Inc()
 }
 
 // Append routes one record to its shard and appends it; when the
@@ -267,10 +467,18 @@ func (s *Store) Append(m Meta, line string) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.openLocked()
-	sh.scratch = AppendFrame(sh.scratch[:0], m, line)
+	if sh.cw != nil {
+		sh.cw.lineBuf = append(sh.cw.lineBuf[:0], line...)
+		if err := sh.cw.stage(m, sh.cw.lineBuf); err != nil {
+			s.abandonLocked(sh)
+			return err
+		}
+	} else {
+		sh.scratch = AppendFrame(sh.scratch[:0], m, line)
+	}
 	sh.pending = append(sh.pending[:0], m)
 	var rotations int
-	if err := s.flushScratchLocked(sh, &rotations); err != nil {
+	if err := s.flushLocked(sh, &rotations); err != nil {
 		return err
 	}
 	s.statsMu.Lock()
@@ -328,17 +536,25 @@ func (s *Store) AppendBatch(recs []BatchRec) error {
 				continue
 			}
 			sh.openLocked()
-			sh.scratch = AppendFrameBytes(sh.scratch, recs[i].Meta, recs[i].Line)
+			if sh.cw != nil {
+				if err := sh.cw.stage(recs[i].Meta, recs[i].Line); err != nil {
+					s.abandonLocked(sh)
+					sh.mu.Unlock()
+					return err
+				}
+			} else {
+				sh.scratch = AppendFrameBytes(sh.scratch, recs[i].Meta, recs[i].Line)
+			}
 			sh.pending = append(sh.pending, recs[i].Meta)
 			appends++
-			if sh.active.Bytes+len(sh.scratch) >= s.cfg.SegmentCap {
-				if err := s.flushScratchLocked(sh, &rotations); err != nil {
+			if sh.active.Bytes+s.stagedLocked(sh) >= s.cfg.SegmentCap {
+				if err := s.flushLocked(sh, &rotations); err != nil {
 					sh.mu.Unlock()
 					return err
 				}
 			}
 		}
-		err := s.flushScratchLocked(sh, &rotations)
+		err := s.flushLocked(sh, &rotations)
 		sh.mu.Unlock()
 		if err != nil {
 			return err
@@ -362,9 +578,26 @@ func (s *Store) sealLocked(sh *shard) error {
 		return nil
 	}
 	span := obs.StartSpan(s.rotateNS)
-	footer := AppendFooter(nil, a.Index, uint32(a.Bytes))
-	if err := s.be.Append(a.Name, footer); err != nil {
-		return err
+	if sh.cw != nil {
+		tail, disk, err := sh.cw.seal(a.Index, a.Bytes)
+		if err != nil {
+			s.abandonLocked(sh)
+			return err
+		}
+		if err := s.be.Append(a.Name, tail); err != nil {
+			s.abandonLocked(sh)
+			return err
+		}
+		a.DiskBytes = disk
+		s.obsBlocks.Add(int64(len(sh.cw.blocks)))
+		s.obsRawBytes.Add(int64(a.Bytes))
+		s.obsCompBytes.Add(int64(disk))
+	} else {
+		footer := AppendFooter(nil, a.Index, uint32(a.Bytes))
+		if err := s.be.Append(a.Name, footer); err != nil {
+			return err
+		}
+		a.DiskBytes = a.Bytes + FooterSize
 	}
 	a.Sealed = true
 	sh.sealed = append(sh.sealed, a)
@@ -378,7 +611,7 @@ func (s *Store) sealLocked(sh *shard) error {
 // writer being sealed repeatedly by Flush, so segment count stays
 // proportional to data volume. Caller holds sh.mu.
 func (s *Store) compactLocked(sh *shard) error {
-	small := func(in *SegmentInfo) bool { return in.Bytes*2 < s.cfg.SegmentCap }
+	small := func(in *SegmentInfo) bool { return in.Tier == 0 && in.Bytes*2 < s.cfg.SegmentCap }
 	i := len(sh.sealed)
 	for i > 0 && small(sh.sealed[i-1]) {
 		i--
@@ -388,28 +621,19 @@ func (s *Store) compactLocked(sh *shard) error {
 		return nil
 	}
 	span := obs.StartSpan(s.compactNS)
-	var frames []byte
-	var x Index
-	for _, info := range run {
-		data, err := s.be.Read(info.Name)
-		if err != nil {
-			return err
-		}
-		seg, err := ParseSegment(data)
-		if err != nil {
-			return err
-		}
-		for _, r := range seg.Recs {
-			frames = AppendFrame(frames, r.Meta, r.Line)
-			x.Add(r.Meta)
-		}
+	recs, x, rawBytes, err := s.readRun(run)
+	if err != nil {
+		return err
+	}
+	out, err := encodeRecs(recs, s.cfg)
+	if err != nil {
+		return err
 	}
 	merged := &SegmentInfo{
-		Name:  segName(sh.id, run[0].Start, run[len(run)-1].End),
+		Name:  segName(sh.id, run[0].Start, run[len(run)-1].End, 0),
 		Shard: sh.id, Start: run[0].Start, End: run[len(run)-1].End,
-		Bytes: len(frames), Index: x, Sealed: true,
+		Bytes: rawBytes, DiskBytes: len(out), Index: x, Sealed: true,
 	}
-	out := AppendFooter(frames, x, uint32(len(frames)))
 	if err := s.be.Create(merged.Name, out); err != nil {
 		return err
 	}
@@ -427,6 +651,136 @@ func (s *Store) compactLocked(sh *shard) error {
 	return nil
 }
 
+// readRun reads and parses a run of sealed segments, returning their
+// records with the merged index and v1-equivalent size.
+func (s *Store) readRun(run []*SegmentInfo) ([]Rec, Index, int, error) {
+	var recs []Rec
+	var x Index
+	rawBytes := 0
+	for _, info := range run {
+		data, err := s.be.Read(info.Name)
+		if err != nil {
+			return nil, x, 0, err
+		}
+		seg, err := ParseSegment(data)
+		if err != nil {
+			return nil, x, 0, err
+		}
+		for _, r := range seg.Recs {
+			x.Add(r.Meta)
+			rawBytes += FrameSize(len(r.Line))
+		}
+		recs = append(recs, seg.Recs...)
+	}
+	return recs, x, rawBytes, nil
+}
+
+// maintainLocked runs the shard's retention pass: expire sealed
+// segments beyond the retention horizon, then roll the oldest run of
+// cold hot-tier segments into one archival-tier segment (re-encoded at
+// BestCompression with larger blocks — cold data trades decode cost
+// for space). Ages are cpuTime distances from the newest record the
+// store has seen, so retention advances with the workload's clock, not
+// the host's. Caller holds sh.mu.
+func (s *Store) maintainLocked(sh *shard) error {
+	if s.cfg.RetainFor == 0 && s.cfg.ArchiveAfter == 0 {
+		return nil
+	}
+	maxSeen := s.maxSeen.Load()
+	if s.cfg.RetainFor > 0 {
+		kept := sh.sealed[:0]
+		expired, expiredRecs := 0, 0
+		for _, info := range sh.sealed {
+			if info.Index.MaxTime+s.cfg.RetainFor < maxSeen {
+				if err := s.be.Remove(info.Name); err == nil {
+					expired++
+					expiredRecs += int(info.Index.Count)
+					continue
+				}
+			}
+			kept = append(kept, info)
+		}
+		sh.sealed = kept
+		if expired > 0 {
+			s.statsMu.Lock()
+			s.stats.Expired += expired
+			s.statsMu.Unlock()
+			s.obsExpiredSegs.Add(int64(expired))
+			s.obsExpiredRecs.Add(int64(expiredRecs))
+		}
+	}
+	if s.cfg.ArchiveAfter == 0 {
+		return nil
+	}
+	// The oldest contiguous run of cold hot-tier segments; archives
+	// already at the front of the list are skipped, never re-archived.
+	i := 0
+	for i < len(sh.sealed) && sh.sealed[i].Tier != 0 {
+		i++
+	}
+	j := i
+	for j < len(sh.sealed) && j-i < archiveRunMax &&
+		sh.sealed[j].Tier == 0 && sh.sealed[j].Index.MaxTime+s.cfg.ArchiveAfter < maxSeen {
+		j++
+	}
+	if j == i {
+		return nil
+	}
+	// A lone cold segment waits another ArchiveAfter before archiving
+	// alone: under continuous ingest maintenance runs at every
+	// rotation, so segments cool one rotation apart and would otherwise
+	// each become a single-segment archive — recompressed but never
+	// merged. Deferring the run start lets neighbors cool and join;
+	// a straggler with no neighbors still archives at twice the age.
+	if j == i+1 && sh.sealed[i].Index.MaxTime+2*s.cfg.ArchiveAfter >= maxSeen {
+		return nil
+	}
+	span := obs.StartSpan(s.archiveNS)
+	run := sh.sealed[i:j]
+	recs, x, rawBytes, err := s.readRun(run)
+	if err != nil {
+		return err
+	}
+	out, err := encodeSegmentV2(recs, flate.BestCompression, 4*s.cfg.BlockTarget)
+	if err != nil {
+		return err
+	}
+	merged := &SegmentInfo{
+		Name:  segName(sh.id, run[0].Start, run[len(run)-1].End, 1),
+		Shard: sh.id, Start: run[0].Start, End: run[len(run)-1].End,
+		Bytes: rawBytes, DiskBytes: len(out), Tier: 1, Index: x, Sealed: true,
+	}
+	if err := s.be.Create(merged.Name, out); err != nil {
+		return err
+	}
+	for _, info := range run {
+		_ = s.be.Remove(info.Name)
+	}
+	sh.sealed[i] = merged
+	sh.sealed = append(sh.sealed[:i+1], sh.sealed[j:]...)
+	s.statsMu.Lock()
+	s.stats.Archived += len(run)
+	s.statsMu.Unlock()
+	s.obsArchived.Add(int64(len(run)))
+	s.obsArchiveRuns.Inc()
+	span.End()
+	return nil
+}
+
+// Maintain runs the retention pass (expiry + archival) on every shard
+// now, instead of waiting for the next rotation to trigger it.
+func (s *Store) Maintain() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := s.maintainLocked(sh)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Flush seals every non-empty active segment, making all appended
 // records visible behind footers (an unsealed segment is still
 // readable, but must be scanned).
@@ -436,6 +790,9 @@ func (s *Store) Flush() error {
 		err := s.sealLocked(sh)
 		if err == nil {
 			err = s.compactLocked(sh)
+		}
+		if err == nil {
+			err = s.maintainLocked(sh)
 		}
 		sh.mu.Unlock()
 		if err != nil {
@@ -476,9 +833,14 @@ type ReaderSegment struct {
 	Name   string
 	Shard  int
 	Start  int
+	Tier   int
 	Index  Index
 	Sealed bool
 	data   []byte
+	// Sealed v1 segments record where their frames end; sealed v2
+	// segments carry the parsed footer (dictionary + block table).
+	dataLen int
+	v2      *footerV2
 }
 
 // Load parses the segment's records. An unsealed segment with a torn
@@ -486,6 +848,21 @@ type ReaderSegment struct {
 func (rs *ReaderSegment) Load() (*Segment, error) {
 	return ParseSegment(rs.data)
 }
+
+// RawBytes returns the segment's v1-equivalent (uncompressed framed)
+// size, the numerator of its compression ratio.
+func (rs *ReaderSegment) RawBytes() int {
+	if rs.v2 != nil {
+		return rs.v2.RawTotal
+	}
+	if rs.Sealed {
+		return rs.dataLen
+	}
+	return len(rs.data)
+}
+
+// DiskBytes returns the segment's on-disk size.
+func (rs *ReaderSegment) DiskBytes() int { return len(rs.data) }
 
 // Reader is a point-in-time read-only view of a store: the segment
 // files present at OpenReader, grouped by shard in rotation order.
@@ -506,7 +883,7 @@ func OpenReader(be Backend) (*Reader, error) {
 	byShard := make(map[int][]*ReaderSegment)
 	maxShard := -1
 	for _, name := range names {
-		sh, start, _, ok := parseSegName(name)
+		sh, start, _, tier, ok := parseSegName(name)
 		if !ok {
 			continue
 		}
@@ -514,9 +891,14 @@ func OpenReader(be Backend) (*Reader, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs := &ReaderSegment{Name: name, Shard: sh, Start: start, data: data}
-		if x, _, ok := ParseFooter(data); ok {
+		rs := &ReaderSegment{Name: name, Shard: sh, Start: start, Tier: tier, data: data}
+		if x, dataLen, ok := ParseFooter(data); ok {
 			rs.Index = x
+			rs.dataLen = dataLen
+			rs.Sealed = true
+		} else if f, ok := parseFooterV2(data); ok {
+			rs.Index = f.Index
+			rs.v2 = f
 			rs.Sealed = true
 		}
 		if sh > maxShard {

@@ -276,19 +276,25 @@ func TestSegName(t *testing.T) {
 		name  string
 		ok    bool
 		shard int
+		tier  int
 	}{
-		{"s0-000001-000001.seg", true, 0},
-		{"s3-000007-000010.seg", true, 3},
-		{"s0-000002-000001.seg", false, 0}, // end < start
-		{"junk.seg", false, 0},
-		{"s0-000001-000001.log", false, 0},
+		{"s0-000001-000001.seg", true, 0, 0},
+		{"s3-000007-000010.seg", true, 3, 0},
+		{"a1-000002-000009.seg", true, 1, 1},
+		{"s0-000002-000001.seg", false, 0, 0}, // end < start
+		{"junk.seg", false, 0, 0},
+		{"s0-000001-000001.log", false, 0, 0},
+		{"b0-000001-000001.seg", false, 0, 0}, // unknown tier prefix
 	} {
-		sh, _, _, ok := parseSegName(tc.name)
-		if ok != tc.ok || (ok && sh != tc.shard) {
-			t.Fatalf("parseSegName(%q) = shard %d ok %v", tc.name, sh, ok)
+		sh, _, _, tier, ok := parseSegName(tc.name)
+		if ok != tc.ok || (ok && (sh != tc.shard || tier != tc.tier)) {
+			t.Fatalf("parseSegName(%q) = shard %d tier %d ok %v", tc.name, sh, tier, ok)
 		}
 	}
-	if got := segName(2, 3, 4); got != "s2-000003-000004.seg" {
+	if got := segName(2, 3, 4, 0); got != "s2-000003-000004.seg" {
+		t.Fatalf("segName = %q", got)
+	}
+	if got := segName(2, 3, 4, 1); got != "a2-000003-000004.seg" {
 		t.Fatalf("segName = %q", got)
 	}
 }

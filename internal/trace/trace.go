@@ -97,6 +97,17 @@ func ParseLog(data []byte) ([]Event, error) {
 	return events, nil
 }
 
+// ParseOne parses a single formatted record line (no trailing
+// newline), the per-record entry point for scan paths that stream
+// lines out of the store instead of splitting a whole log.
+func ParseOne(line []byte) (Event, error) {
+	s := strings.TrimSpace(string(line))
+	if s == "" {
+		return Event{}, fmt.Errorf("trace: empty record line")
+	}
+	return parseLine(s)
+}
+
 func parseLine(line string) (Event, error) {
 	toks := strings.Fields(line)
 	ev := Event{

@@ -23,6 +23,12 @@ trap 'rm -f "$tmp" "$scale_tmp"' EXIT
 go test -run '^$' -bench 'BenchmarkFilterEngine$|BenchmarkFilterEngineProcess$' -benchmem -benchtime=200000x . >"$tmp"
 go test -run '^$' -bench 'BenchmarkStoreIngest$' -benchmem -benchtime=1600000x . >>"$tmp"
 go test -run '^$' -bench 'BenchmarkStoreIngestBatch$' -benchmem -benchtime=100000x . >>"$tmp"
+# Compressed tier: same batch count as BenchmarkStoreIngestBatch so the
+# ns/op pair is directly comparable, plus the block-pruned query against
+# its segment-pruned baseline. The compression ratio and pruning gates
+# below read these lines.
+go test -run '^$' -bench 'BenchmarkStoreIngestCompressed$' -benchmem -benchtime=100000x . >>"$tmp"
+go test -run '^$' -bench 'BenchmarkQueryBlockPruned' -benchmem -benchtime=50x . >>"$tmp"
 # Scaling benchmarks: the parallel ingest pipeline and the concurrent
 # query at 1/2/4/8 workers, so the perf trajectory records how the
 # system uses cores, not just single-thread ns/op. Fixed iteration
@@ -65,20 +71,56 @@ END {
     }
 }' "$tmp"
 
+# Compression gates. The stored-segment format must actually earn its
+# complexity: at least 3x smaller on disk than the v1-equivalent bytes,
+# and no more than 1.25x the batched-ingest cost (the structural
+# encoding runs inline on the write path). Block pruning must not cost
+# more than the segment-pruned baseline it refines: 1.10x slack covers
+# scheduler noise on a ~200us benchmark.
+awk '
+$1 ~ /^BenchmarkStoreIngestBatch(-[0-9]+)?$/ {
+    for (i = 3; i < NF; i++) if ($(i+1) == "ns/op") batch = $i
+}
+$1 ~ /^BenchmarkStoreIngestCompressed(-[0-9]+)?$/ {
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")         comp = $i
+        if ($(i+1) == "compression-x") cx   = $i
+    }
+}
+$1 ~ /^BenchmarkQueryBlockPruned\/segment-pruned(-[0-9]+)?$/ { for (i = 3; i < NF; i++) if ($(i+1) == "ns/op") segp = $i }
+$1 ~ /^BenchmarkQueryBlockPruned\/block-pruned(-[0-9]+)?$/   { for (i = 3; i < NF; i++) if ($(i+1) == "ns/op") blkp = $i }
+END {
+    fail = 0
+    if (cx + 0 <= 0) { print "bench_filter.sh: missing compression-x metric" > "/dev/stderr"; fail = 1 }
+    else if (cx + 0 < 3) { printf "bench_filter.sh: compression ratio %.2fx below the 3x gate\n", cx > "/dev/stderr"; fail = 1 }
+    if (batch + 0 <= 0 || comp + 0 <= 0) { print "bench_filter.sh: missing ingest ns/op results" > "/dev/stderr"; fail = 1 }
+    else if (comp / batch > 1.25) {
+        printf "bench_filter.sh: compressed ingest %.0f ns/op vs %.0f batch (%.2fx), gate is 1.25x\n", comp, batch, comp / batch > "/dev/stderr"; fail = 1
+    }
+    if (segp + 0 <= 0 || blkp + 0 <= 0) { print "bench_filter.sh: missing block-pruned query results" > "/dev/stderr"; fail = 1 }
+    else if (blkp / segp > 1.10) {
+        printf "bench_filter.sh: block-pruned query %.0f ns/op vs %.0f segment-pruned (%.2fx), gate is 1.10x\n", blkp, segp, blkp / segp > "/dev/stderr"; fail = 1
+    }
+    exit fail
+}' "$tmp"
+
 awk '
 BEGIN { print "{"; print "  \"generated_by\": \"scripts/bench_filter.sh\","; print "  \"benchmarks\": [" }
 /^Benchmark/ {
     name = $1; iters = $2
-    ns = "null"; mbs = "null"; bop = "null"; aop = "null"; bmv = "null"
+    ns = "null"; mbs = "null"; bop = "null"; aop = "null"; bmv = "null"; cx = "null"; bod = "null"; blkp = "null"
     for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op")       ns  = $i
-        if ($(i+1) == "MB/s")        mbs = $i
-        if ($(i+1) == "B/op")        bop = $i
-        if ($(i+1) == "allocs/op")   aop = $i
-        if ($(i+1) == "bytes_moved") bmv = $i
+        if ($(i+1) == "ns/op")         ns   = $i
+        if ($(i+1) == "MB/s")          mbs  = $i
+        if ($(i+1) == "B/op")          bop  = $i
+        if ($(i+1) == "allocs/op")     aop  = $i
+        if ($(i+1) == "bytes_moved")   bmv  = $i
+        if ($(i+1) == "compression-x") cx   = $i
+        if ($(i+1) == "bytes_on_disk") bod  = $i
+        if ($(i+1) == "blocks-pruned") blkp = $i
     }
     if (n++) printf ",\n"
-    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"bytes_moved\": %s}", name, iters, ns, mbs, bop, aop, bmv
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"bytes_moved\": %s, \"compression_x\": %s, \"bytes_on_disk\": %s, \"blocks_pruned\": %s}", name, iters, ns, mbs, bop, aop, bmv, cx, bod, blkp
 }
 END { print ""; print "  ]"; print "}" }
 ' "$tmp" >"$out"
