@@ -583,7 +583,11 @@ func parseFooterV2(data []byte) (*footerV2, bool) {
 		b.Index.PIDs = le.Uint64(body[off+8:])
 		b.Index.Types = le.Uint32(body[off+16:])
 		off += 20
-		if b.Off < 0 || b.CompLen < 0 || b.Off+b.CompLen > region ||
+		// Off is bounded before the subtraction so the block-extent test
+		// is overflow-free — a crafted table passes the footer CRCs (they
+		// live in the file), so a wrapped Off+CompLen sum would otherwise
+		// reach the region slicing in Scan.
+		if b.Off < 0 || b.CompLen < 0 || b.Off > region || b.CompLen > region-b.Off ||
 			b.RawLen <= 0 || b.RawLen > maxBlockRaw {
 			return nil, false
 		}
@@ -772,7 +776,9 @@ func (d *Decoder) decodeRecords(raw []byte, fn func(Meta, []byte)) (int, int, er
 		}
 		slot := int(typ) % nameSlots
 		prev := d.prev[slot]
-		if p+s > uint64(len(prev)) || p+s > MaxFrameSize {
+		// p and s are bounded individually before summing so p+s cannot
+		// wrap uint64 and slip past the range checks.
+		if p > MaxFrameSize || s > MaxFrameSize || p+s > uint64(len(prev)) || p+s > MaxFrameSize {
 			return emitted, start, fmt.Errorf("front-coding overrun at payload offset %d", start)
 		}
 		line := d.line[:0]

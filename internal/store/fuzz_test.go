@@ -1,7 +1,11 @@
 package store
 
 import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
 	"errors"
+	"math"
 	"testing"
 )
 
@@ -30,6 +34,72 @@ func fuzzSeedV2() []byte {
 		panic(err)
 	}
 	return out
+}
+
+// fuzzSeedOverflow builds an unsealed v2 segment whose single record
+// declares front-coding lengths p=MaxUint64, s=1: the uint64 sum wraps
+// to zero, which an unchecked p+s bounds test would admit before
+// prev[:p] panicked. The parser must reject it as a torn record.
+func fuzzSeedOverflow() []byte {
+	var payload []byte
+	payload = binary.AppendUvarint(payload, 1)              // machine
+	payload = binary.AppendUvarint(payload, zigzag(100))    // time delta
+	payload = binary.AppendUvarint(payload, 1)              // type
+	payload = binary.AppendUvarint(payload, 1)              // pid
+	payload = binary.AppendUvarint(payload, math.MaxUint64) // prefix length
+	payload = binary.AppendUvarint(payload, 1)              // suffix length
+	payload = append(payload, opEnd)
+	var buf bytes.Buffer
+	buf.WriteString(segMagicV2)
+	buf.Write([]byte{0, 0, 0, 0})
+	fw, _ := flate.NewWriter(&buf, flate.NoCompression)
+	fw.Write(payload)
+	fw.Close()
+	return buf.Bytes()
+}
+
+// TestFrontCodingLengthOverflow pins the crafted-overflow segment:
+// ParseSegment must degrade to ErrTruncated with nothing salvaged, not
+// panic — Store.Open parses every unsealed segment, so a panic here
+// crash-loops reopen on one corrupt file.
+func TestFrontCodingLengthOverflow(t *testing.T) {
+	seg, err := ParseSegment(fuzzSeedOverflow())
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if len(seg.Recs) != 0 {
+		t.Fatalf("salvaged %d records from a malformed segment", len(seg.Recs))
+	}
+}
+
+// fuzzSeedBlockExtentOverflow builds a sealed v2 segment whose block
+// table declares Off and CompLen near 2^62: the int sum wraps
+// negative, which an unchecked Off+CompLen extent test would admit
+// before the region slicing panicked. The footer CRCs verify — they
+// are computed over the crafted table — so only the extent check
+// stands between the table and the slice.
+func fuzzSeedBlockExtentOverflow() []byte {
+	data := []byte(segMagicV2)
+	data = append(data, 0, 0, 0, 0)
+	data = append(data, "not a real block"...)
+	blocks := []blockMeta{{off: 1 << 62, compLen: 1 << 62, rawLen: 64, idx: Index{Count: 1}}}
+	return appendFooterV2(data, Index{Count: 1}, uint32(len(data)), 64, nil, blocks)
+}
+
+// TestBlockTableExtentOverflow pins the crafted block table: the
+// footer must be rejected (degrading the file to unsealed salvage),
+// never accepted as sealed and sliced.
+func TestBlockTableExtentOverflow(t *testing.T) {
+	seg, err := ParseSegment(fuzzSeedBlockExtentOverflow())
+	if seg.Sealed {
+		t.Fatal("crafted footer with wrapping block extent accepted as sealed")
+	}
+	if len(seg.Recs) != 0 {
+		t.Fatalf("salvaged %d records from a malformed segment", len(seg.Recs))
+	}
+	if err != nil && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want nil or ErrTruncated", err)
+	}
 }
 
 // FuzzParseSegment checks the segment parser on arbitrary bytes: it
@@ -76,6 +146,10 @@ func FuzzParseSegment(f *testing.F) {
 	blockFlip := append([]byte(nil), v2...)
 	blockFlip[headerV2Size+5] ^= 0xff
 	f.Add(blockFlip)
+	// Front-coding lengths whose uint64 sum wraps past the bounds check.
+	f.Add(fuzzSeedOverflow())
+	// Block-table extents whose int sum wraps past the region check.
+	f.Add(fuzzSeedBlockExtentOverflow())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seg, err := ParseSegment(data)
 		if seg == nil {
