@@ -21,11 +21,13 @@ import (
 	"time"
 
 	"dpm/internal/analysis"
+	"dpm/internal/analysis/live"
 	"dpm/internal/core"
 	"dpm/internal/daemon"
 	"dpm/internal/filter"
 	"dpm/internal/kernel"
 	"dpm/internal/meter"
+	"dpm/internal/obs"
 	"dpm/internal/query"
 	"dpm/internal/store"
 	"dpm/internal/trace"
@@ -1065,6 +1067,68 @@ func BenchmarkQueryParallel(b *testing.B) {
 				if len(res.Events) != len(events) {
 					b.Fatalf("scan returned %d events, want %d", len(res.Events), len(events))
 				}
+			}
+		})
+	}
+}
+
+// O2: live streaming analysis overhead. The §5 operators are meant to
+// be cheap enough to leave on, so the gate compares the full filter
+// ingest path (decode → select → format → log sink) with the live
+// collector tapped in against the identical pipeline without taps.
+// The stream alternates named sends and matching receives across two
+// machines, so the tap path exercises its heaviest operator — the
+// online matcher's datagram pairing — not just counter bumps.
+// scripts/bench_filter.sh gates live-on at 1.05x live-off.
+func BenchmarkFilterIngestLive(b *testing.B) {
+	proto, err := filter.NewEngine([]byte(filter.StandardDescriptions), []byte(""))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stream []byte
+	for i := 0; i < 8; i++ {
+		send := &meter.Msg{
+			Header: meter.Header{Machine: 0, CPUTime: uint32(100 + i), ProcTime: uint32(i)},
+			Body: &meter.Send{PID: uint32(10 + i%2), Sock: 3, MsgLength: 64,
+				DestNameLen: 16, DestName: meter.InetName(1, 5000)},
+		}
+		stream = send.AppendEncode(stream)
+		recv := &meter.Msg{
+			Header: meter.Header{Machine: 1, CPUTime: uint32(100 + i), ProcTime: uint32(i)},
+			Body: &meter.Recv{PID: uint32(20 + i%2), Sock: 7, MsgLength: 64,
+				SourceNameLen: 16, SourceName: meter.InetName(0, 1024)},
+		}
+		stream = recv.AppendEncode(stream)
+	}
+	for _, mode := range []struct {
+		name string
+		live bool
+	}{{"live=off", false}, {"live=on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			reg := obs.NewRegistry()
+			cfg := filter.PipelineConfig{Workers: 2, QueueDepth: 64, Obs: reg}
+			if mode.live {
+				cfg.Taps = live.NewCollector(live.Config{Obs: reg})
+			}
+			pipe := filter.NewPipeline(proto, cfg, filter.Sinks{
+				Log: func([]byte) error { return nil },
+			}, nil)
+			srcs := make([]*filter.Source, 4)
+			for i := range srcs {
+				srcs[i] = pipe.NewSource()
+			}
+			b.SetBytes(int64(len(stream)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !srcs[i%len(srcs)].Feed(stream) {
+					b.Fatal("pipeline refused feed")
+				}
+			}
+			pipe.Close() // drain inside the timed region
+			b.StopTimer()
+			if st := pipe.Stats(); st.Received != int64(16*b.N) || st.StreamErrors != 0 {
+				b.Fatalf("pipeline processed %d records of %d: %+v", st.Received, 16*b.N, st)
 			}
 		})
 	}

@@ -4,9 +4,16 @@
 // blocked time, and the deduced event ordering (paper sections 3.3 and
 // 4.1).
 //
-//	analyze [-binary] [file]
+//	analyze [-binary] [-json] [-snapshot snap.json] [file]
 //
-// With no file argument it reads standard input.
+// With no file argument it reads standard input. -json emits the
+// communication statistics and parallelism profile as JSON instead of
+// the text report. -snapshot cross-checks the live streaming operators
+// against the offline analysis: it loads an obs snapshot (the filter's
+// shutdown export, or anything dpstat reads), decodes its
+// live.comm/live.par sections, and reports any disagreement with the
+// offline analysis of the trace — on a completed trace the two must
+// agree exactly, except for the online matcher's documented windowing.
 package main
 
 import (
@@ -17,11 +24,36 @@ import (
 	"os"
 
 	"dpm/internal/analysis"
+	"dpm/internal/analysis/live"
+	"dpm/internal/cli"
+	"dpm/internal/obs"
 	"dpm/internal/trace"
 )
 
+// jsonProc is one process row of the -json report.
+type jsonProc struct {
+	Machine int `json:"machine"`
+	PID     int `json:"pid"`
+	analysis.ProcComm
+}
+
+// jsonReport is the -json output shape.
+type jsonReport struct {
+	Events      int                   `json:"events"`
+	Sends       int                   `json:"sends"`
+	Recvs       int                   `json:"recvs"`
+	BytesSent   int64                 `json:"bytes_sent"`
+	BytesRecvd  int64                 `json:"bytes_recvd"`
+	SizeHist    map[int]int           `json:"size_hist,omitempty"`
+	Procs       []jsonProc            `json:"procs"`
+	Parallelism *analysis.Parallelism `json:"parallelism"`
+	Consistency []string              `json:"consistency,omitempty"`
+}
+
 func main() {
 	binary := flag.Bool("binary", false, "input is a raw meter byte stream")
+	asJSON := flag.Bool("json", false, "emit communication and parallelism results as JSON")
+	snapPath := flag.String("snapshot", "", "obs snapshot to cross-check live sections against the trace")
 	timeline := flag.Bool("timeline", false, "append a per-process event timeline")
 	validate := flag.Bool("validate", false, "append trace consistency diagnostics")
 	dot := flag.Bool("dot", false, "print only the structure graph in Graphviz dot form")
@@ -36,7 +68,7 @@ func main() {
 	case 1:
 		data, err = os.ReadFile(flag.Arg(0))
 	default:
-		log.Fatal("usage: analyze [-binary] [file]")
+		log.Fatal("usage: analyze [-binary] [-json] [-snapshot snap.json] [file]")
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -50,8 +82,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	var findings []string
+	if *snapPath != "" {
+		snap, lerr := loadSnapshot(*snapPath)
+		if lerr != nil {
+			log.Fatalf("analyze: %s: %v", *snapPath, lerr)
+		}
+		findings = liveConsistency(snap, events)
+	}
+
 	if *dot {
 		fmt.Print(analysis.Structure(events, nil).Dot())
+		return
+	}
+	if *asJSON {
+		if err := cli.WriteJSON(os.Stdout, buildJSON(events, findings)); err != nil {
+			log.Fatal(err)
+		}
+		exitOnFindings(findings)
 		return
 	}
 	report, err := analysis.Report(events, nil)
@@ -69,4 +118,149 @@ func main() {
 			fmt.Printf("  %s\n", d)
 		}
 	}
+	if *snapPath != "" {
+		fmt.Printf("\nlive/offline consistency: %d finding(s)\n", len(findings))
+		for _, f := range findings {
+			fmt.Printf("  %s\n", f)
+		}
+		exitOnFindings(findings)
+	}
+}
+
+func exitOnFindings(findings []string) {
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func buildJSON(events []trace.Event, findings []string) *jsonReport {
+	st := analysis.Comm(events)
+	out := &jsonReport{
+		Events:      st.Events,
+		Sends:       st.Sends,
+		Recvs:       st.Recvs,
+		BytesSent:   st.BytesSent,
+		BytesRecvd:  st.BytesRecvd,
+		SizeHist:    st.SizeHist,
+		Parallelism: analysis.MeasureParallelism(events),
+		Consistency: findings,
+	}
+	for k, pc := range st.PerProcess {
+		out.Procs = append(out.Procs, jsonProc{Machine: k.Machine, PID: k.PID, ProcComm: *pc})
+	}
+	sortProcs(out.Procs)
+	return out
+}
+
+func sortProcs(procs []jsonProc) {
+	for i := 1; i < len(procs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &procs[j-1], &procs[j]
+			if a.Machine < b.Machine || (a.Machine == b.Machine && a.PID <= b.PID) {
+				break
+			}
+			*a, *b = *b, *a
+		}
+	}
+}
+
+// loadSnapshot reads an obs snapshot in either export format: the JSON
+// the filter writes at shutdown, or the binary wire form.
+func loadSnapshot(path string) (*obs.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if s, jerr := obs.ParseSnapshotJSON(data); jerr == nil {
+		return s, nil
+	}
+	return obs.ParseSnapshot(data)
+}
+
+// liveConsistency compares a snapshot's live-analysis sections against
+// the offline analysis of the trace. The trace must be the same
+// filter's log the snapshot's collector observed; on a completed
+// stream every figure the two compute in common must agree.
+func liveConsistency(snap *obs.Snapshot, events []trace.Event) []string {
+	var finds []string
+	badf := func(format string, args ...any) { finds = append(finds, fmt.Sprintf(format, args...)) }
+
+	off := analysis.Comm(events)
+	if sec := snap.Section(live.SectionComm); sec == nil {
+		badf("snapshot has no %s section", live.SectionComm)
+	} else if sec.Version != live.SectionVersion {
+		badf("%s is v%d, this tool reads v%d", live.SectionComm, sec.Version, live.SectionVersion)
+	} else if lc, err := live.DecodeComm(sec.Data); err != nil {
+		badf("%s: %v", live.SectionComm, err)
+	} else {
+		if lc.Events != int64(off.Events) {
+			badf("events: live %d, offline %d", lc.Events, off.Events)
+		}
+		if lc.Sends != int64(off.Sends) || lc.BytesSent != off.BytesSent {
+			badf("sends: live %d/%dB, offline %d/%dB", lc.Sends, lc.BytesSent, off.Sends, off.BytesSent)
+		}
+		if lc.Recvs != int64(off.Recvs) || lc.BytesRecvd != off.BytesRecvd {
+			badf("recvs: live %d/%dB, offline %d/%dB", lc.Recvs, lc.BytesRecvd, off.Recvs, off.BytesRecvd)
+		}
+		for b, n := range off.SizeHist {
+			if lc.Sizes[b] != int64(n) {
+				badf("size bucket %d: live %d, offline %d", b, lc.Sizes[b], n)
+			}
+		}
+		for b, n := range lc.Sizes {
+			if int64(off.SizeHist[b]) != n {
+				badf("size bucket %d: live %d, offline %d", b, n, off.SizeHist[b])
+			}
+		}
+		if len(lc.Procs) != len(off.PerProcess) {
+			badf("procs: live %d, offline %d", len(lc.Procs), len(off.PerProcess))
+		}
+		for i := range lc.Procs {
+			p := &lc.Procs[i]
+			o := off.PerProcess[analysis.ProcKey{Machine: int(p.Machine), PID: int(p.PID)}]
+			if o == nil {
+				badf("proc m%d/p%d: live only", p.Machine, p.PID)
+				continue
+			}
+			if p.Sends != int64(o.Sends) || p.Recvs != int64(o.Recvs) || p.RecvCalls != int64(o.RecvCalls) ||
+				p.Sockets != int64(o.Sockets) || p.Forks != int64(o.Forks) ||
+				p.BytesSent != o.BytesSent || p.BytesRecvd != o.BytesRecvd {
+				badf("proc m%d/p%d: live %+v, offline %+v", p.Machine, p.PID, *p, *o)
+			}
+		}
+	}
+
+	offPar := analysis.MeasureParallelism(events)
+	if sec := snap.Section(live.SectionPar); sec == nil {
+		badf("snapshot has no %s section", live.SectionPar)
+	} else if sec.Version != live.SectionVersion {
+		badf("%s is v%d, this tool reads v%d", live.SectionPar, sec.Version, live.SectionVersion)
+	} else if lp, err := live.DecodePar(sec.Data); err != nil {
+		badf("%s: %v", live.SectionPar, err)
+	} else {
+		curve := lp.Curve()
+		if curve.Processes != offPar.Processes {
+			badf("parallelism processes: live %d, offline %d", curve.Processes, offPar.Processes)
+		}
+		if curve.TotalCPUMillis != offPar.TotalCPUMillis {
+			badf("total cpu: live %dms, offline %dms", curve.TotalCPUMillis, offPar.TotalCPUMillis)
+		}
+		if curve.MakespanMillis != offPar.MakespanMillis {
+			badf("makespan: live %dms, offline %dms", curve.MakespanMillis, offPar.MakespanMillis)
+		}
+		for k, v := range offPar.Histogram {
+			if curve.Histogram[k] != v {
+				badf("concurrency %dx: live %dms, offline %dms", k, curve.Histogram[k], v)
+			}
+		}
+		for k, v := range curve.Histogram {
+			if offPar.Histogram[k] != v {
+				badf("concurrency %dx: live %dms, offline %dms", k, v, offPar.Histogram[k])
+			}
+		}
+	}
+	// live.match is intentionally not compared figure-for-figure: the
+	// online matcher's bounded reordering window makes its tallies
+	// differ from offline MatchMessages on incomplete or lossy traces.
+	return finds
 }

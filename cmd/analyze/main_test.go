@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dpm/internal/analysis/live"
+	"dpm/internal/filter"
+	"dpm/internal/meter"
+	"dpm/internal/obs"
+	"dpm/internal/trace"
+)
+
+// buildTrace runs a small three-machine stream through a tapped
+// pipeline, returning the live snapshot and the same events parsed
+// offline — the two inputs of the consistency check.
+func buildTrace(t *testing.T) (*obs.Snapshot, []trace.Event) {
+	t.Helper()
+	var stream []byte
+	dest := meter.InetName(1, 99)
+	for i := 0; i < 30; i++ {
+		m := meter.Msg{
+			Header: meter.Header{Machine: uint16(i % 3), CPUTime: uint32(10 + i*7), ProcTime: uint32(i)},
+			Body:   &meter.Send{PID: uint32(100 + i%3), Sock: 3, MsgLength: uint32(32 + i), DestNameLen: 16, DestName: dest},
+		}
+		stream = m.AppendEncode(stream)
+	}
+	proto, err := filter.NewEngine([]byte(filter.StandardDescriptions), []byte(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	coll := live.NewCollector(live.Config{Obs: reg})
+	pipe := filter.NewPipeline(proto, filter.PipelineConfig{Workers: 1, Taps: coll}, filter.Sinks{}, nil)
+	if !pipe.NewSource().Feed(stream) {
+		t.Fatal("feed refused")
+	}
+	pipe.Close()
+	events, err := trace.ParseBinary(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg.Snapshot(), events
+}
+
+// TestLiveConsistencyAgrees checks the -snapshot mode on the agreeing
+// case: a snapshot captured from the very stream being analyzed has no
+// findings.
+func TestLiveConsistencyAgrees(t *testing.T) {
+	snap, events := buildTrace(t)
+	if finds := liveConsistency(snap, events); len(finds) != 0 {
+		t.Fatalf("consistency findings on matching inputs: %v", finds)
+	}
+}
+
+// TestLiveConsistencyDetectsDrift tampers with the trace: the check
+// must report the disagreement rather than pass vacuously.
+func TestLiveConsistencyDetectsDrift(t *testing.T) {
+	snap, events := buildTrace(t)
+	finds := liveConsistency(snap, events[:len(events)-3])
+	if len(finds) == 0 {
+		t.Fatal("no findings on a truncated trace")
+	}
+	joined := strings.Join(finds, "\n")
+	if !strings.Contains(joined, "events: live") {
+		t.Fatalf("findings lack the event-count disagreement: %v", finds)
+	}
+
+	// A snapshot with no live sections reports both as missing.
+	finds = liveConsistency(&obs.Snapshot{}, events)
+	if len(finds) != 2 {
+		t.Fatalf("sectionless snapshot: %v", finds)
+	}
+	// A corrupt payload is a finding, not a crash.
+	bad := &obs.Snapshot{Sections: []obs.Section{
+		{Name: live.SectionComm, Version: live.SectionVersion, Data: []byte{0xff}},
+		{Name: live.SectionPar, Version: live.SectionVersion + 7, Data: []byte{0}},
+	}}
+	finds = liveConsistency(bad, events)
+	if len(finds) != 2 || !strings.Contains(strings.Join(finds, "\n"), "corrupt") {
+		t.Fatalf("corrupt snapshot: %v", finds)
+	}
+}
+
+// TestBuildJSON checks the -json shape round-trips and carries the
+// per-process rows sorted.
+func TestBuildJSON(t *testing.T) {
+	_, events := buildTrace(t)
+	rep := buildJSON(events, nil)
+	if rep.Events != 30 || rep.Sends != 30 || len(rep.Procs) != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for i := 1; i < len(rep.Procs); i++ {
+		if rep.Procs[i-1].Machine > rep.Procs[i].Machine {
+			t.Fatalf("procs unsorted: %+v", rep.Procs)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back jsonReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Parallelism == nil || back.Parallelism.Processes != 3 {
+		t.Fatalf("parallelism lost in JSON: %+v", back.Parallelism)
+	}
+}

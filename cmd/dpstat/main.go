@@ -23,6 +23,11 @@ import (
 
 	"dpm/internal/cli"
 	"dpm/internal/obs"
+
+	// Link the live-analysis section mergers and renderers, so
+	// snapshots carrying live.comm/live.par/live.match sections merge
+	// key-wise and render as reports instead of opaque byte counts.
+	_ "dpm/internal/analysis/live"
 )
 
 func main() {

@@ -1,0 +1,457 @@
+package live
+
+import (
+	"dpm/internal/meter"
+)
+
+// The online matcher pairs sends with receives as records arrive,
+// where offline analysis.MatchMessages assumes a complete, sorted
+// trace. Three mechanisms, all bounded:
+//
+//   - Handshake pairing: CONNECT and ACCEPT records meet by socket
+//     name (an accept whose listener name equals a connect's peer
+//     name), establishing a connection that maps both endpoints —
+//     (machine, pid, sock) triples — to a shared byte-cursor pair.
+//   - Stream matching: an unnamed send on a connected endpoint pushes
+//     a byte span; receives on the other endpoint advance the
+//     direction's received cursor, and every span the cursor covers is
+//     one matched message. Sends and receives observed before the
+//     handshake wait in a per-endpoint orphan queue and replay when
+//     the connection establishes.
+//   - Datagram matching: a named send joins the (src,dst) machine-pair
+//     FIFO; a receive matches the oldest pending send whose length can
+//     carry it (receives may truncate, mirroring offline
+//     lengthsCompatible), and symmetrically a send arriving late
+//     matches the oldest pending receive.
+//
+// Everything pending is subject to the reordering window: entries
+// whose cpuTime falls behind the collector's watermark by more than
+// WindowMillis age out into the unmatched counter, and every queue
+// evicts its oldest entry as aged when MaxPending would be exceeded.
+// The matcher therefore reaches a steady-state footprint no matter how
+// long the stream runs or how much of it never pairs up — the property
+// the offline matcher, which buffers whole flows, cannot have.
+
+// endpoint identifies one socket of one process.
+type endpoint struct {
+	machine uint16
+	pid     uint32
+	sock    uint32
+}
+
+// span is one pending stream send: the direction's cumulative byte
+// offset after it, and when it entered.
+type span struct {
+	end int64
+	t   int64
+}
+
+// connDir is one direction of a connection's byte stream.
+type connDir struct {
+	sent  int64 // cumulative bytes sent
+	recvd int64 // cumulative bytes received
+	pend  fifoS // spans sent but not yet fully received
+}
+
+// conn joins two endpoints. Direction 0 carries a→b, direction 1 b→a.
+type conn struct {
+	a, b endpoint
+	dirs [2]connDir
+}
+
+// half locates one endpoint's side of its connection.
+type half struct {
+	c    *conn
+	side int // 0: this endpoint is a, 1: b
+}
+
+// pendHS is a connect or accept waiting for its counterpart.
+type pendHS struct {
+	ep       endpoint
+	sockName meter.Name
+	peerName meter.Name
+	t        int64
+}
+
+// orphan is an unnamed send or receive on a not-yet-connected
+// endpoint.
+type orphan struct {
+	ep     endpoint
+	bytes  int64
+	t      int64
+	isSend bool
+	peer   uint16 // resolved peer machine once known, unknownMachine otherwise
+}
+
+// flowMsg is one pending datagram.
+type flowMsg struct {
+	bytes int64
+	t     int64
+}
+
+// matcher is the collector's online matching state. All methods run
+// under the collector's mutex.
+type matcher struct {
+	window   int64
+	maxPend  int
+	maxConns int
+
+	pendConnects []pendHS
+	pendAccepts  []pendHS
+	endpoints    map[endpoint]half
+	conns        int64
+	orphans      fifoO
+	dgramSend    map[uint32]*fifoM // keyed by pairKey(src,dst)
+	dgramRecv    map[uint32]*fifoM
+
+	// Hot-path cache: the last machine pair's datagram FIFOs. Traffic
+	// between a machine pair is bursty, so one entry removes two map
+	// lookups from most named sends and receives. The cached pointers
+	// stay valid forever — flows are drained in place, never deleted.
+	lastFlowOK   bool
+	lastFlowKey  uint32
+	lastFlowSend *fifoM
+	lastFlowRecv *fifoM
+
+	// pending is the total queued entries across all structures — the
+	// bound the gauge and the sweep maintain. streamPend is the subset
+	// held as stream spans, so sweeps skip the connection walk when
+	// every stream is drained.
+	pending    int
+	streamPend int
+	lastSweep  int64
+
+	// Deltas since the last takeCounts, drained outside the lock into
+	// obs counters; the t-totals accumulate what was drained so the
+	// snapshot section can report cumulative counts.
+	dStream int64
+	dDgram  int64
+	dAged   int64
+	tStream int64
+	tDgram  int64
+	tAged   int64
+}
+
+func (m *matcher) init(cfg Config) {
+	m.window = cfg.WindowMillis
+	m.maxPend = cfg.MaxPending
+	m.maxConns = cfg.MaxProcs
+	m.endpoints = make(map[endpoint]half)
+	m.dgramSend = make(map[uint32]*fifoM)
+	m.dgramRecv = make(map[uint32]*fifoM)
+}
+
+func (m *matcher) takeCounts() (stream, dgram, aged int64) {
+	stream, dgram, aged = m.dStream, m.dDgram, m.dAged
+	m.tStream += stream
+	m.tDgram += dgram
+	m.tAged += aged
+	m.dStream, m.dDgram, m.dAged = 0, 0, 0
+	return
+}
+
+// connect records a CONNECT: pair with a waiting accept, else queue.
+// e.name1 is the connector's own socket name, e.name2 the peer
+// (listener) name.
+func (m *matcher) connect(e *tapEntry) {
+	ep := endpoint{e.machine, e.pid, e.sock}
+	hs := pendHS{ep: ep, sockName: e.name1, peerName: e.name2, t: e.cpu}
+	// An accept matches when its listener-side name is the address this
+	// connect dialed; prefer the one that already names us as peer.
+	best := -1
+	for i := range m.pendAccepts {
+		a := &m.pendAccepts[i]
+		if a.sockName != hs.peerName {
+			continue
+		}
+		if a.peerName == hs.sockName {
+			best = i
+			break
+		}
+		if best < 0 {
+			best = i
+		}
+	}
+	if best >= 0 {
+		a := m.pendAccepts[best]
+		m.pendAccepts = append(m.pendAccepts[:best], m.pendAccepts[best+1:]...)
+		m.pending--
+		m.establish(hs.ep, a.ep)
+		return
+	}
+	if len(m.pendConnects) >= m.maxPend {
+		m.pendConnects = m.pendConnects[1:]
+		m.dAged++
+		m.pending--
+	}
+	m.pendConnects = append(m.pendConnects, hs)
+	m.pending++
+}
+
+// accept records an ACCEPT. e.name1 is the listener's socket name,
+// e.name2 the connector's name, e.aux the new (accepted) descriptor.
+func (m *matcher) accept(e *tapEntry) {
+	ep := endpoint{e.machine, e.pid, e.aux}
+	hs := pendHS{ep: ep, sockName: e.name1, peerName: e.name2, t: e.cpu}
+	best := -1
+	for i := range m.pendConnects {
+		c := &m.pendConnects[i]
+		if c.peerName != hs.sockName {
+			continue
+		}
+		if c.sockName == hs.peerName {
+			best = i
+			break
+		}
+		if best < 0 {
+			best = i
+		}
+	}
+	if best >= 0 {
+		c := m.pendConnects[best]
+		m.pendConnects = append(m.pendConnects[:best], m.pendConnects[best+1:]...)
+		m.pending--
+		m.establish(c.ep, hs.ep)
+		return
+	}
+	if len(m.pendAccepts) >= m.maxPend {
+		m.pendAccepts = m.pendAccepts[1:]
+		m.dAged++
+		m.pending--
+	}
+	m.pendAccepts = append(m.pendAccepts, hs)
+	m.pending++
+}
+
+// establish wires a client/server endpoint pair and replays any
+// orphaned stream traffic that was waiting for it.
+func (m *matcher) establish(client, server endpoint) {
+	if int64(len(m.endpoints)) >= 2*int64(m.maxConns) {
+		// Connection table full: drop the handshake as aged rather
+		// than growing without bound.
+		m.dAged++
+		return
+	}
+	c := &conn{a: client, b: server}
+	m.endpoints[client] = half{c: c, side: 0}
+	m.endpoints[server] = half{c: c, side: 1}
+	m.conns++
+	// Replay orphans for these endpoints in arrival order.
+	m.orphans.extract(func(o *orphan) bool {
+		if o.ep != client && o.ep != server {
+			return false
+		}
+		m.pending--
+		m.streamTraffic(m.endpoints[o.ep], o.bytes, o.t, o.isSend)
+		return true
+	})
+}
+
+// send observes a send and returns the destination machine for the
+// matrix: from the destination name when present, from the connection
+// when established, unknown otherwise.
+func (m *matcher) send(e *tapEntry) uint16 {
+	if !e.name1.IsZero() {
+		dst := hostMachine(&e.name1, e.machine)
+		m.dgram(pairKey(e.machine, dst), int64(e.aux), e.cpu, true)
+		return dst
+	}
+	ep := endpoint{e.machine, e.pid, e.sock}
+	if h, ok := m.endpoints[ep]; ok {
+		m.streamTraffic(h, int64(e.aux), e.cpu, true)
+		return m.peerOf(h).machine
+	}
+	m.orphan(ep, int64(e.aux), e.cpu, true)
+	return unknownMachine
+}
+
+// recv observes a receive and returns the source machine for the
+// matrix.
+func (m *matcher) recv(e *tapEntry) uint16 {
+	if !e.name1.IsZero() {
+		src := hostMachine(&e.name1, e.machine)
+		m.dgram(pairKey(src, e.machine), int64(e.aux), e.cpu, false)
+		return src
+	}
+	ep := endpoint{e.machine, e.pid, e.sock}
+	if h, ok := m.endpoints[ep]; ok {
+		m.streamTraffic(h, int64(e.aux), e.cpu, false)
+		return m.peerOf(h).machine
+	}
+	m.orphan(ep, int64(e.aux), e.cpu, false)
+	return unknownMachine
+}
+
+func (m *matcher) peerOf(h half) endpoint {
+	if h.side == 0 {
+		return h.c.b
+	}
+	return h.c.a
+}
+
+// streamTraffic advances a connection's byte cursors. A send at an
+// endpoint feeds the direction it transmits on; a receive drains the
+// opposite direction. The caller passes the endpoint's half, already
+// in hand from its own routing lookup.
+func (m *matcher) streamTraffic(h half, n, t int64, isSend bool) {
+	if h.c == nil {
+		return
+	}
+	dir := h.side // side 0 sends on dir 0, side 1 on dir 1
+	if !isSend {
+		dir = 1 - h.side // side 0 receives what dir 1 carries
+	}
+	d := &h.c.dirs[dir]
+	if isSend {
+		d.sent += n
+		if d.pend.len() >= m.maxPend {
+			// Evict the oldest unreceived span as aged; skip the
+			// receive cursor past it so later spans stay matchable.
+			s := d.pend.pop()
+			m.dAged++
+			m.pending--
+			m.streamPend--
+			if d.recvd < s.end {
+				d.recvd = s.end
+			}
+		}
+		d.pend.push(span{end: d.sent, t: t})
+		m.pending++
+		m.streamPend++
+	} else {
+		d.recvd += n
+	}
+	for d.pend.len() > 0 && d.pend.peek().end <= d.recvd {
+		d.pend.pop()
+		m.dStream++
+		m.pending--
+		m.streamPend--
+	}
+}
+
+// orphan queues unnamed traffic on an unconnected endpoint.
+func (m *matcher) orphan(ep endpoint, n, t int64, isSend bool) {
+	if m.orphans.len() >= m.maxPend {
+		m.orphans.pop()
+		m.dAged++
+		m.pending--
+	}
+	m.orphans.push(orphan{ep: ep, bytes: n, t: t, isSend: isSend, peer: unknownMachine})
+	m.pending++
+}
+
+// dgram runs the machine-pair FIFO for one named datagram leg. A
+// receive pairs with the oldest pending send of length >= its own
+// (receives truncate, never grow); a send pairs with the oldest
+// pending receive it can carry.
+func (m *matcher) dgram(key uint32, n, t int64, isSend bool) {
+	var sq, rq *fifoM
+	if m.lastFlowOK && key == m.lastFlowKey {
+		sq, rq = m.lastFlowSend, m.lastFlowRecv
+	} else {
+		sq, rq = m.dgramSend[key], m.dgramRecv[key]
+		m.lastFlowOK, m.lastFlowKey = true, key
+		m.lastFlowSend, m.lastFlowRecv = sq, rq
+	}
+	mine, theirs := sq, rq
+	if !isSend {
+		mine, theirs = rq, sq
+	}
+	if theirs != nil {
+		// Bounded scan: reordering within the window means the match
+		// may not be at the head, but an unbounded scan would make a
+		// flood of incompatible lengths quadratic.
+		if i := theirs.firstMatch(32, func(f *flowMsg) bool {
+			if isSend {
+				return f.bytes <= n // pending recv needs a send big enough
+			}
+			return f.bytes >= n // pending send must carry this recv
+		}); i >= 0 {
+			theirs.remove(i)
+			m.dDgram++
+			m.pending--
+			return
+		}
+	}
+	if mine == nil {
+		mine = &fifoM{}
+		if isSend {
+			m.dgramSend[key] = mine
+			m.lastFlowSend = mine
+		} else {
+			m.dgramRecv[key] = mine
+			m.lastFlowRecv = mine
+		}
+	}
+	if mine.len() >= m.maxPend {
+		mine.pop()
+		m.dAged++
+		m.pending--
+	}
+	mine.push(flowMsg{bytes: n, t: t})
+	m.pending++
+}
+
+// sweep ages out everything older than now minus the window. Queues
+// are pushed in roughly cpuTime order, so each drains from its head.
+// Sweeps are rate-limited to once per quarter window, so the
+// per-flush cost of calling this is one comparison.
+func (m *matcher) sweep(now int64) {
+	horizon := now - m.window
+	if horizon <= 0 || horizon < m.lastSweep+m.window/4 {
+		return
+	}
+	m.lastSweep = horizon
+	for len(m.pendConnects) > 0 && m.pendConnects[0].t < horizon {
+		m.pendConnects = m.pendConnects[1:]
+		m.dAged++
+		m.pending--
+	}
+	for len(m.pendAccepts) > 0 && m.pendAccepts[0].t < horizon {
+		m.pendAccepts = m.pendAccepts[1:]
+		m.dAged++
+		m.pending--
+	}
+	for m.orphans.len() > 0 && m.orphans.peek().t < horizon {
+		m.orphans.pop()
+		m.dAged++
+		m.pending--
+	}
+	for _, q := range m.dgramSend {
+		for q.len() > 0 && q.peek().t < horizon {
+			q.pop()
+			m.dAged++
+			m.pending--
+		}
+	}
+	for _, q := range m.dgramRecv {
+		for q.len() > 0 && q.peek().t < horizon {
+			q.pop()
+			m.dAged++
+			m.pending--
+		}
+	}
+	// Stream spans: only walk connections while spans are outstanding.
+	if m.streamPend == 0 {
+		return
+	}
+	seen := make(map[*conn]bool, len(m.endpoints)/2)
+	for _, h := range m.endpoints {
+		if seen[h.c] {
+			continue
+		}
+		seen[h.c] = true
+		for dir := range h.c.dirs {
+			d := &h.c.dirs[dir]
+			for d.pend.len() > 0 && d.pend.peek().t < horizon {
+				s := d.pend.pop()
+				m.dAged++
+				m.pending--
+				m.streamPend--
+				if d.recvd < s.end {
+					d.recvd = s.end
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package live
+
+import (
+	"testing"
+
+	"dpm/internal/meter"
+)
+
+// Matcher-level tests drive the collector through apply with
+// hand-built tap entries — the same seam the worker taps use — so each
+// behavior is exercised without a pipeline.
+
+func entry(kind meter.Type, machine uint16, pid, sock, aux uint32, cpu int64) tapEntry {
+	return tapEntry{kind: uint8(kind), machine: machine, pid: pid, sock: sock, aux: aux, cpu: cpu}
+}
+
+func (c *Collector) matchState(t *testing.T) *MatchState {
+	t.Helper()
+	st, err := DecodeMatch(c.captureMatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestMatchOrphanReplay sends stream traffic before the handshake
+// completes: the orphaned bytes must replay and match once connect and
+// accept meet.
+func TestMatchOrphanReplay(t *testing.T) {
+	c := NewCollector(Config{})
+	cn := meter.InetName(0, 10)
+	sn := meter.InetName(1, 20)
+	// Sends and even the receive arrive before the handshake pairs.
+	send1 := entry(meter.EvSend, 0, 1, 3, 100, 10)
+	send2 := entry(meter.EvSend, 0, 1, 3, 50, 20)
+	recv1 := entry(meter.EvRecv, 1, 2, 6, 100, 30)
+	conn := entry(meter.EvConnect, 0, 1, 3, 0, 40)
+	conn.name1, conn.name2 = cn, sn
+	acc := entry(meter.EvAccept, 1, 2, 0, 6, 50) // aux carries newSock
+	acc.name1, acc.name2 = sn, cn
+	c.apply([]tapEntry{send1, send2, recv1})
+	if st := c.matchState(t); st.Conns != 0 || st.StreamMatched != 0 || st.Pending != 3 {
+		t.Fatalf("before handshake: %+v", *st)
+	}
+	c.apply([]tapEntry{conn, acc})
+	// Replay: recv of 100 covers send1 exactly; send2 stays pending.
+	if st := c.matchState(t); st.Conns != 1 || st.StreamMatched != 1 || st.Pending != 1 {
+		t.Fatalf("after handshake: %+v", *st)
+	}
+	// The rest of the stream drains.
+	recv2 := entry(meter.EvRecv, 1, 2, 6, 50, 60)
+	c.apply([]tapEntry{recv2})
+	if st := c.matchState(t); st.StreamMatched != 2 || st.Pending != 0 {
+		t.Fatalf("after drain: %+v", *st)
+	}
+}
+
+// TestMatchAcceptBeforeConnect pairs the handshake in either arrival
+// order.
+func TestMatchAcceptBeforeConnect(t *testing.T) {
+	c := NewCollector(Config{})
+	cn := meter.InetName(0, 10)
+	sn := meter.InetName(1, 20)
+	acc := entry(meter.EvAccept, 1, 2, 0, 6, 10)
+	acc.name1, acc.name2 = sn, cn
+	conn := entry(meter.EvConnect, 0, 1, 3, 0, 20)
+	conn.name1, conn.name2 = cn, sn
+	c.apply([]tapEntry{acc, conn})
+	if st := c.matchState(t); st.Conns != 1 || st.Pending != 0 {
+		t.Fatalf("accept-first handshake: %+v", *st)
+	}
+}
+
+// TestMatchDgramTruncation enforces the datagram length rule: a
+// receive may be shorter than the send that carried it, never longer.
+func TestMatchDgramTruncation(t *testing.T) {
+	c := NewCollector(Config{})
+	dst := meter.InetName(1, 99)
+	src := meter.InetName(0, 99)
+	send := entry(meter.EvSend, 0, 1, 3, 200, 10)
+	send.name1 = dst
+	big := entry(meter.EvRecv, 1, 2, 6, 300, 20) // longer than any send
+	big.name1 = src
+	small := entry(meter.EvRecv, 1, 2, 6, 150, 30) // truncated receipt
+	small.name1 = src
+	c.apply([]tapEntry{send, big})
+	if st := c.matchState(t); st.DgramMatched != 0 || st.Pending != 2 {
+		t.Fatalf("oversized recv must not match: %+v", *st)
+	}
+	c.apply([]tapEntry{small})
+	if st := c.matchState(t); st.DgramMatched != 1 || st.Pending != 1 {
+		t.Fatalf("truncated recv must match: %+v", *st)
+	}
+}
+
+// TestMatchWindowAging advances the clock past the reordering window
+// and checks that pending entries age out into the counter instead of
+// accumulating.
+func TestMatchWindowAging(t *testing.T) {
+	c := NewCollector(Config{WindowMillis: 100})
+	send := entry(meter.EvSend, 0, 1, 3, 64, 10)
+	send.name1 = meter.InetName(1, 99)
+	conn := entry(meter.EvConnect, 0, 1, 4, 0, 12)
+	conn.name1, conn.name2 = meter.InetName(0, 1), meter.InetName(1, 2)
+	orph := entry(meter.EvSend, 0, 2, 5, 32, 14) // unnamed, unconnected
+	c.apply([]tapEntry{send, conn, orph})
+	if st := c.matchState(t); st.Pending != 3 || st.AgedOut != 0 {
+		t.Fatalf("before aging: %+v", *st)
+	}
+	// A much later event pushes the watermark past the window.
+	late := entry(meter.EvRecvCall, 0, 3, 9, 0, 500)
+	c.apply([]tapEntry{late})
+	if st := c.matchState(t); st.Pending != 0 || st.AgedOut != 3 {
+		t.Fatalf("after aging: %+v", *st)
+	}
+}
+
+// TestMatchStreamSpanAging ages pending stream spans: the receive
+// cursor skips past the evicted span so later traffic still matches.
+func TestMatchStreamSpanAging(t *testing.T) {
+	c := NewCollector(Config{WindowMillis: 100})
+	cn := meter.InetName(0, 10)
+	sn := meter.InetName(1, 20)
+	conn := entry(meter.EvConnect, 0, 1, 3, 0, 10)
+	conn.name1, conn.name2 = cn, sn
+	acc := entry(meter.EvAccept, 1, 2, 0, 6, 11)
+	acc.name1, acc.name2 = sn, cn
+	lost := entry(meter.EvSend, 0, 1, 3, 100, 12) // never received
+	c.apply([]tapEntry{conn, acc, lost})
+	late := entry(meter.EvRecvCall, 0, 3, 9, 0, 500)
+	c.apply([]tapEntry{late})
+	if st := c.matchState(t); st.AgedOut != 1 || st.Pending != 0 {
+		t.Fatalf("span did not age: %+v", *st)
+	}
+	// New traffic on the same stream still matches: the cursor skipped
+	// the lost bytes.
+	send := entry(meter.EvSend, 0, 1, 3, 40, 510)
+	recv := entry(meter.EvRecv, 1, 2, 6, 40, 520)
+	c.apply([]tapEntry{send, recv})
+	if st := c.matchState(t); st.StreamMatched != 1 || st.Pending != 0 {
+		t.Fatalf("stream dead after aging: %+v", *st)
+	}
+}
+
+// TestMatchMaxPendingEviction fills a datagram FIFO past MaxPending:
+// the oldest entry is evicted as aged and the queue stays bounded.
+func TestMatchMaxPendingEviction(t *testing.T) {
+	c := NewCollector(Config{MaxPending: 4})
+	dst := meter.InetName(1, 99)
+	var batch []tapEntry
+	for i := 0; i < 10; i++ {
+		e := entry(meter.EvSend, 0, 1, 3, 64, int64(10+i))
+		e.name1 = dst
+		batch = append(batch, e)
+	}
+	c.apply(batch)
+	if st := c.matchState(t); st.Pending != 4 || st.AgedOut != 6 {
+		t.Fatalf("eviction: %+v", *st)
+	}
+}
+
+// TestProcOverflowFold sends events for more processes than MaxProcs:
+// the surplus folds into one overflow cell and the totals still add
+// up.
+func TestProcOverflowFold(t *testing.T) {
+	c := NewCollector(Config{MaxProcs: 4})
+	var batch []tapEntry
+	for i := 0; i < 10; i++ {
+		batch = append(batch, entry(meter.EvRecvCall, 0, uint32(100+i), 3, 0, int64(10+i)))
+	}
+	c.apply(batch)
+	st, err := DecodeComm(c.captureComm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Procs) != 5 { // 4 real cells + the overflow fold
+		t.Fatalf("%d proc cells, want 5", len(st.Procs))
+	}
+	var calls int64
+	for i := range st.Procs {
+		calls += st.Procs[i].RecvCalls
+	}
+	if calls != 10 || st.Events != 10 {
+		t.Fatalf("recvCalls %d events %d, want 10/10", calls, st.Events)
+	}
+	ov := st.Procs[len(st.Procs)-1]
+	if ov.Machine != UnknownMachine || ov.RecvCalls != 6 {
+		t.Fatalf("overflow cell %+v", ov)
+	}
+}
+
+// TestPairOverflowFold bounds the matrix: pairs past MaxPairs land in
+// the (unknown,unknown) cell.
+func TestPairOverflowFold(t *testing.T) {
+	c := NewCollector(Config{MaxPairs: 3})
+	var batch []tapEntry
+	for i := 0; i < 8; i++ {
+		e := entry(meter.EvSend, uint16(i), 1, 3, 10, int64(10+i))
+		e.name1 = meter.InetName(uint32(100+i), 9)
+		batch = append(batch, e)
+	}
+	c.apply(batch)
+	st, err := DecodeComm(c.captureComm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Pairs) != 4 { // 3 real pairs + the unknown fold
+		t.Fatalf("%d pairs, want 4: %+v", len(st.Pairs), st.Pairs)
+	}
+	var msgs int64
+	var fold *PairState
+	for i := range st.Pairs {
+		msgs += st.Pairs[i].SendMsgs
+		if st.Pairs[i].Src == UnknownMachine && st.Pairs[i].Dst == UnknownMachine {
+			fold = &st.Pairs[i]
+		}
+	}
+	if msgs != 8 || fold == nil || fold.SendMsgs != 5 {
+		t.Fatalf("fold cell %+v, total %d", fold, msgs)
+	}
+}

@@ -1,0 +1,773 @@
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"dpm/internal/analysis"
+	"dpm/internal/filter"
+	"dpm/internal/obs"
+)
+
+// Snapshot section names and the shared payload version. Payloads are
+// little-endian, bounds-checked on decode, and merge by key-wise
+// summation (comm), interval union (par), and counter addition
+// (match) — all associative and commutative, the contract
+// obs.SectionMerger requires. A decoder rejects corrupt bytes with
+// ErrBadSection; the obs merge then degrades to carrying both inputs
+// instead of dropping state.
+const (
+	SectionComm  = "live.comm"
+	SectionPar   = "live.par"
+	SectionMatch = "live.match"
+	// SectionVersion is the payload version this package writes. A
+	// section arriving with a different version is left unmerged and
+	// unrendered (carried opaquely), so mixed-version clusters degrade
+	// instead of misparsing.
+	SectionVersion = 1
+)
+
+// ErrBadSection reports an undecodable live-analysis payload.
+var ErrBadSection = errors.New("live: corrupt section")
+
+// maxSectionEntries bounds decoded tables against corrupt counts.
+const maxSectionEntries = 1 << 20
+
+func init() {
+	obs.RegisterSectionMerger(SectionComm, mergeCommPayload)
+	obs.RegisterSectionMerger(SectionPar, mergeParPayload)
+	obs.RegisterSectionMerger(SectionMatch, mergeMatchPayload)
+	obs.RegisterSectionRenderer(SectionComm, renderComm)
+	obs.RegisterSectionRenderer(SectionPar, renderPar)
+	obs.RegisterSectionRenderer(SectionMatch, renderMatch)
+}
+
+// Factory returns the filter.TapFactory that equips every standard
+// filter with a live-analysis collector on its machine's registry —
+// what internal/core installs at cluster construction.
+func Factory() filter.TapFactory {
+	return func(reg *obs.Registry, _ string) filter.TapSource {
+		return NewCollector(Config{Obs: reg})
+	}
+}
+
+// ProcCommState is one process's row of the decoded communication
+// state.
+type ProcCommState struct {
+	Machine    uint16
+	PID        uint32
+	Sends      int64
+	Recvs      int64
+	RecvCalls  int64
+	Sockets    int64
+	Forks      int64
+	BytesSent  int64
+	BytesRecvd int64
+}
+
+// PairState is one (src,dst) cell of the decoded matrix. Dst or Src
+// equal to UnknownMachine mark unresolved peers.
+type PairState struct {
+	Src, Dst  uint16
+	SendMsgs  int64
+	SendBytes int64
+	RecvMsgs  int64
+	RecvBytes int64
+	Sizes     map[int]int64
+}
+
+// UnknownMachine is the matrix id for an unresolvable peer.
+const UnknownMachine = unknownMachine
+
+// CommState is the decoded live.comm section.
+type CommState struct {
+	Events     int64
+	Sends      int64
+	Recvs      int64
+	BytesSent  int64
+	BytesRecvd int64
+	Sizes      map[int]int64
+	Procs      []ProcCommState
+	Pairs      []PairState
+}
+
+// ProcInterval is one process's lifetime in the decoded live.par
+// section.
+type ProcInterval struct {
+	Machine    uint16
+	PID        uint32
+	Terminated bool
+	First      int64
+	Last       int64
+	MaxCPU     int64
+}
+
+// ParState is the decoded live.par section.
+type ParState struct {
+	Procs []ProcInterval
+}
+
+// MatchState is the decoded live.match section.
+type MatchState struct {
+	Conns         int64
+	StreamMatched int64
+	DgramMatched  int64
+	AgedOut       int64
+	Pending       int64
+}
+
+// Curve derives the parallelism profile from the merged intervals —
+// the same computation analysis.MeasureParallelism runs over a trace,
+// so on a completed stream the two agree exactly.
+func (p *ParState) Curve() *analysis.Parallelism {
+	out := &analysis.Parallelism{Histogram: make(map[int]int64)}
+	if len(p.Procs) == 0 {
+		return out
+	}
+	out.Processes = len(p.Procs)
+	minT, maxT := p.Procs[0].First, p.Procs[0].Last
+	type edge struct {
+		t     int64
+		delta int
+	}
+	edges := make([]edge, 0, 2*len(p.Procs))
+	for i := range p.Procs {
+		iv := &p.Procs[i]
+		out.TotalCPUMillis += iv.MaxCPU
+		if iv.First < minT {
+			minT = iv.First
+		}
+		if iv.Last > maxT {
+			maxT = iv.Last
+		}
+		edges = append(edges, edge{iv.First, +1}, edge{iv.Last, -1})
+	}
+	out.MakespanMillis = maxT - minT
+	if out.MakespanMillis > 0 {
+		out.Speedup = float64(out.TotalCPUMillis) / float64(out.MakespanMillis)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].delta > edges[j].delta // starts before ends
+	})
+	level := 0
+	prev := int64(-1)
+	for _, e := range edges {
+		if prev >= 0 && e.t > prev && level > 0 {
+			out.Histogram[level] += e.t - prev
+		}
+		level += e.delta
+		prev = e.t
+	}
+	return out
+}
+
+// Running counts the intervals not yet terminated — the merged form of
+// the live.procs_live gauge.
+func (p *ParState) Running() int {
+	n := 0
+	for i := range p.Procs {
+		if !p.Procs[i].Terminated {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- encoding ----
+
+type sreader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *sreader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = fmt.Errorf("%w: truncated at byte %d", ErrBadSection, r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *sreader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *sreader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *sreader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *sreader) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (r *sreader) count() uint32 {
+	n := r.u32()
+	if r.err == nil && n > maxSectionEntries {
+		r.err = fmt.Errorf("%w: count %d", ErrBadSection, n)
+		return 0
+	}
+	return n
+}
+
+func appendSizes(b []byte, sizes *[numSizeBuckets]int64) []byte {
+	le := binary.LittleEndian
+	n := 0
+	for _, v := range sizes {
+		if v != 0 {
+			n++
+		}
+	}
+	b = le.AppendUint16(b, uint16(n))
+	for i, v := range sizes {
+		if v != 0 {
+			b = append(b, uint8(i))
+			b = le.AppendUint64(b, uint64(v))
+		}
+	}
+	return b
+}
+
+func readSizes(r *sreader) map[int]int64 {
+	n := int(r.u16())
+	var out map[int]int64
+	for i := 0; i < n && r.err == nil; i++ {
+		bucket := int(r.u8())
+		v := r.i64()
+		if r.err == nil {
+			if out == nil {
+				out = make(map[int]int64, n)
+			}
+			out[bucket] += v
+		}
+	}
+	return out
+}
+
+// captureComm encodes the live.comm payload:
+//
+//	i64 events, sends, recvs, bytesSent, bytesRecvd,
+//	u16 n sizes × (u8 bucket, i64 count),
+//	u32 n procs × (u16 machine, u32 pid, i64 sends, recvs, recvCalls,
+//	               sockets, forks, bytesSent, bytesRecvd),
+//	u32 n pairs × (u16 src, u16 dst, i64 sendMsgs, sendBytes,
+//	               recvMsgs, recvBytes, u16 n sizes × (u8, i64)).
+func (c *Collector) captureComm() []byte {
+	c.sync()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	le := binary.LittleEndian
+	b := make([]byte, 0, 64+70*len(c.procs)+80*len(c.pairs))
+	b = le.AppendUint64(b, uint64(c.events))
+	b = le.AppendUint64(b, uint64(c.sends))
+	b = le.AppendUint64(b, uint64(c.recvs))
+	b = le.AppendUint64(b, uint64(c.bytesSent))
+	b = le.AppendUint64(b, uint64(c.bytesRecv))
+	b = appendSizes(b, &c.sizes)
+
+	cells := c.sortedCells()
+	b = le.AppendUint32(b, uint32(len(cells)))
+	for _, pc := range cells {
+		b = le.AppendUint16(b, pc.machine)
+		b = le.AppendUint32(b, pc.pid)
+		for _, v := range [7]int64{pc.sends, pc.recvs, pc.recvCalls, pc.sockets, pc.forks, pc.bytesSent, pc.bytesRecvd} {
+			b = le.AppendUint64(b, uint64(v))
+		}
+	}
+	keys := make([]uint32, 0, len(c.pairs))
+	for k := range c.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b = le.AppendUint32(b, uint32(len(keys)))
+	for _, k := range keys {
+		p := c.pairs[k]
+		b = le.AppendUint16(b, p.src)
+		b = le.AppendUint16(b, p.dst)
+		b = le.AppendUint64(b, uint64(p.sendMsgs))
+		b = le.AppendUint64(b, uint64(p.sendBytes))
+		b = le.AppendUint64(b, uint64(p.recvMsgs))
+		b = le.AppendUint64(b, uint64(p.recvBytes))
+		b = appendSizes(b, &p.sizes)
+	}
+	return b
+}
+
+// sortedCells returns the proc cells (plus the overflow fold when it
+// absorbed anything) ordered by (machine, pid) for deterministic
+// encodes.
+func (c *Collector) sortedCells() []*procCell {
+	cells := make([]*procCell, 0, len(c.procs)+1)
+	for _, pc := range c.procs {
+		cells = append(cells, pc)
+	}
+	if ov := &c.overflow; ov.first >= 0 {
+		cells = append(cells, ov)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].machine != cells[j].machine {
+			return cells[i].machine < cells[j].machine
+		}
+		return cells[i].pid < cells[j].pid
+	})
+	return cells
+}
+
+// DecodeComm parses a live.comm payload.
+func DecodeComm(data []byte) (*CommState, error) {
+	r := &sreader{b: data}
+	st := &CommState{
+		Events:     r.i64(),
+		Sends:      r.i64(),
+		Recvs:      r.i64(),
+		BytesSent:  r.i64(),
+		BytesRecvd: r.i64(),
+	}
+	st.Sizes = readSizes(r)
+	np := r.count()
+	for i := uint32(0); i < np && r.err == nil; i++ {
+		p := ProcCommState{Machine: r.u16(), PID: r.u32()}
+		p.Sends, p.Recvs, p.RecvCalls = r.i64(), r.i64(), r.i64()
+		p.Sockets, p.Forks = r.i64(), r.i64()
+		p.BytesSent, p.BytesRecvd = r.i64(), r.i64()
+		if r.err == nil {
+			st.Procs = append(st.Procs, p)
+		}
+	}
+	npairs := r.count()
+	for i := uint32(0); i < npairs && r.err == nil; i++ {
+		p := PairState{Src: r.u16(), Dst: r.u16()}
+		p.SendMsgs, p.SendBytes = r.i64(), r.i64()
+		p.RecvMsgs, p.RecvBytes = r.i64(), r.i64()
+		p.Sizes = readSizes(r)
+		if r.err == nil {
+			st.Pairs = append(st.Pairs, p)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return st, nil
+}
+
+// capturePar encodes the live.par payload:
+//
+//	u32 n procs × (u16 machine, u32 pid, u8 terminated,
+//	               i64 first, last, maxCPU).
+func (c *Collector) capturePar() []byte {
+	c.sync()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	le := binary.LittleEndian
+	cells := c.sortedCells()
+	b := make([]byte, 0, 8+31*len(cells))
+	b = le.AppendUint32(b, uint32(len(cells)))
+	for _, pc := range cells {
+		b = le.AppendUint16(b, pc.machine)
+		b = le.AppendUint32(b, pc.pid)
+		var term uint8
+		if pc.terminated {
+			term = 1
+		}
+		b = append(b, term)
+		first := pc.first
+		if first < 0 {
+			first = 0
+		}
+		b = le.AppendUint64(b, uint64(first))
+		b = le.AppendUint64(b, uint64(pc.last))
+		b = le.AppendUint64(b, uint64(pc.maxCPU))
+	}
+	return b
+}
+
+// DecodePar parses a live.par payload.
+func DecodePar(data []byte) (*ParState, error) {
+	r := &sreader{b: data}
+	st := &ParState{}
+	n := r.count()
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		iv := ProcInterval{Machine: r.u16(), PID: r.u32(), Terminated: r.u8() != 0}
+		iv.First, iv.Last, iv.MaxCPU = r.i64(), r.i64(), r.i64()
+		if r.err == nil {
+			st.Procs = append(st.Procs, iv)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return st, nil
+}
+
+// captureMatch encodes the live.match payload:
+//
+//	i64 conns, streamMatched, dgramMatched, agedOut, pending.
+func (c *Collector) captureMatch() []byte {
+	c.sync()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	le := binary.LittleEndian
+	m := &c.match
+	b := make([]byte, 0, 40)
+	b = le.AppendUint64(b, uint64(m.conns))
+	b = le.AppendUint64(b, uint64(m.tStream+m.dStream))
+	b = le.AppendUint64(b, uint64(m.tDgram+m.dDgram))
+	b = le.AppendUint64(b, uint64(m.tAged+m.dAged))
+	b = le.AppendUint64(b, uint64(m.pending))
+	return b
+}
+
+// DecodeMatch parses a live.match payload.
+func DecodeMatch(data []byte) (*MatchState, error) {
+	r := &sreader{b: data}
+	st := &MatchState{
+		Conns:         r.i64(),
+		StreamMatched: r.i64(),
+		DgramMatched:  r.i64(),
+		AgedOut:       r.i64(),
+		Pending:       r.i64(),
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return st, nil
+}
+
+// ---- merging ----
+
+func mergeCommPayload(a, b []byte) ([]byte, error) {
+	sa, err := DecodeComm(a)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := DecodeComm(b)
+	if err != nil {
+		return nil, err
+	}
+	sa.Events += sb.Events
+	sa.Sends += sb.Sends
+	sa.Recvs += sb.Recvs
+	sa.BytesSent += sb.BytesSent
+	sa.BytesRecvd += sb.BytesRecvd
+	if sa.Sizes == nil && sb.Sizes != nil {
+		sa.Sizes = make(map[int]int64, len(sb.Sizes))
+	}
+	for k, v := range sb.Sizes {
+		sa.Sizes[k] += v
+	}
+	procs := make(map[uint64]*ProcCommState, len(sa.Procs)+len(sb.Procs))
+	for i := range sa.Procs {
+		p := &sa.Procs[i]
+		procs[procKey(p.Machine, p.PID)] = p
+	}
+	var extra []ProcCommState
+	for i := range sb.Procs {
+		p := &sb.Procs[i]
+		if dst, ok := procs[procKey(p.Machine, p.PID)]; ok {
+			dst.Sends += p.Sends
+			dst.Recvs += p.Recvs
+			dst.RecvCalls += p.RecvCalls
+			dst.Sockets += p.Sockets
+			dst.Forks += p.Forks
+			dst.BytesSent += p.BytesSent
+			dst.BytesRecvd += p.BytesRecvd
+		} else {
+			extra = append(extra, *p)
+		}
+	}
+	sa.Procs = append(sa.Procs, extra...)
+	pairs := make(map[uint32]*PairState, len(sa.Pairs)+len(sb.Pairs))
+	for i := range sa.Pairs {
+		p := &sa.Pairs[i]
+		pairs[pairKey(p.Src, p.Dst)] = p
+	}
+	var extraPairs []PairState
+	for i := range sb.Pairs {
+		p := &sb.Pairs[i]
+		if dst, ok := pairs[pairKey(p.Src, p.Dst)]; ok {
+			dst.SendMsgs += p.SendMsgs
+			dst.SendBytes += p.SendBytes
+			dst.RecvMsgs += p.RecvMsgs
+			dst.RecvBytes += p.RecvBytes
+			if dst.Sizes == nil && p.Sizes != nil {
+				dst.Sizes = make(map[int]int64, len(p.Sizes))
+			}
+			for k, v := range p.Sizes {
+				dst.Sizes[k] += v
+			}
+		} else {
+			extraPairs = append(extraPairs, *p)
+		}
+	}
+	sa.Pairs = append(sa.Pairs, extraPairs...)
+	return encodeCommState(sa), nil
+}
+
+func encodeCommState(st *CommState) []byte {
+	le := binary.LittleEndian
+	b := make([]byte, 0, 64+70*len(st.Procs)+80*len(st.Pairs))
+	b = le.AppendUint64(b, uint64(st.Events))
+	b = le.AppendUint64(b, uint64(st.Sends))
+	b = le.AppendUint64(b, uint64(st.Recvs))
+	b = le.AppendUint64(b, uint64(st.BytesSent))
+	b = le.AppendUint64(b, uint64(st.BytesRecvd))
+	b = appendSizeMap(b, st.Sizes)
+	sort.Slice(st.Procs, func(i, j int) bool {
+		if st.Procs[i].Machine != st.Procs[j].Machine {
+			return st.Procs[i].Machine < st.Procs[j].Machine
+		}
+		return st.Procs[i].PID < st.Procs[j].PID
+	})
+	b = le.AppendUint32(b, uint32(len(st.Procs)))
+	for i := range st.Procs {
+		p := &st.Procs[i]
+		b = le.AppendUint16(b, p.Machine)
+		b = le.AppendUint32(b, p.PID)
+		for _, v := range [7]int64{p.Sends, p.Recvs, p.RecvCalls, p.Sockets, p.Forks, p.BytesSent, p.BytesRecvd} {
+			b = le.AppendUint64(b, uint64(v))
+		}
+	}
+	sort.Slice(st.Pairs, func(i, j int) bool {
+		return pairKey(st.Pairs[i].Src, st.Pairs[i].Dst) < pairKey(st.Pairs[j].Src, st.Pairs[j].Dst)
+	})
+	b = le.AppendUint32(b, uint32(len(st.Pairs)))
+	for i := range st.Pairs {
+		p := &st.Pairs[i]
+		b = le.AppendUint16(b, p.Src)
+		b = le.AppendUint16(b, p.Dst)
+		b = le.AppendUint64(b, uint64(p.SendMsgs))
+		b = le.AppendUint64(b, uint64(p.SendBytes))
+		b = le.AppendUint64(b, uint64(p.RecvMsgs))
+		b = le.AppendUint64(b, uint64(p.RecvBytes))
+		b = appendSizeMap(b, p.Sizes)
+	}
+	return b
+}
+
+func appendSizeMap(b []byte, sizes map[int]int64) []byte {
+	le := binary.LittleEndian
+	keys := make([]int, 0, len(sizes))
+	for k, v := range sizes {
+		if v != 0 && k >= 0 && k < numSizeBuckets {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	b = le.AppendUint16(b, uint16(len(keys)))
+	for _, k := range keys {
+		b = append(b, uint8(k))
+		b = le.AppendUint64(b, uint64(sizes[k]))
+	}
+	return b
+}
+
+func mergeParPayload(a, b []byte) ([]byte, error) {
+	sa, err := DecodePar(a)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := DecodePar(b)
+	if err != nil {
+		return nil, err
+	}
+	procs := make(map[uint64]*ProcInterval, len(sa.Procs)+len(sb.Procs))
+	for i := range sa.Procs {
+		p := &sa.Procs[i]
+		procs[procKey(p.Machine, p.PID)] = p
+	}
+	var extra []ProcInterval
+	for i := range sb.Procs {
+		p := &sb.Procs[i]
+		if dst, ok := procs[procKey(p.Machine, p.PID)]; ok {
+			if p.First < dst.First {
+				dst.First = p.First
+			}
+			if p.Last > dst.Last {
+				dst.Last = p.Last
+			}
+			if p.MaxCPU > dst.MaxCPU {
+				dst.MaxCPU = p.MaxCPU
+			}
+			dst.Terminated = dst.Terminated || p.Terminated
+		} else {
+			extra = append(extra, *p)
+		}
+	}
+	sa.Procs = append(sa.Procs, extra...)
+	sort.Slice(sa.Procs, func(i, j int) bool {
+		if sa.Procs[i].Machine != sa.Procs[j].Machine {
+			return sa.Procs[i].Machine < sa.Procs[j].Machine
+		}
+		return sa.Procs[i].PID < sa.Procs[j].PID
+	})
+	le := binary.LittleEndian
+	out := make([]byte, 0, 8+31*len(sa.Procs))
+	out = le.AppendUint32(out, uint32(len(sa.Procs)))
+	for i := range sa.Procs {
+		p := &sa.Procs[i]
+		out = le.AppendUint16(out, p.Machine)
+		out = le.AppendUint32(out, p.PID)
+		var term uint8
+		if p.Terminated {
+			term = 1
+		}
+		out = append(out, term)
+		out = le.AppendUint64(out, uint64(p.First))
+		out = le.AppendUint64(out, uint64(p.Last))
+		out = le.AppendUint64(out, uint64(p.MaxCPU))
+	}
+	return out, nil
+}
+
+func mergeMatchPayload(a, b []byte) ([]byte, error) {
+	sa, err := DecodeMatch(a)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := DecodeMatch(b)
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	out := make([]byte, 0, 40)
+	out = le.AppendUint64(out, uint64(sa.Conns+sb.Conns))
+	out = le.AppendUint64(out, uint64(sa.StreamMatched+sb.StreamMatched))
+	out = le.AppendUint64(out, uint64(sa.DgramMatched+sb.DgramMatched))
+	out = le.AppendUint64(out, uint64(sa.AgedOut+sb.AgedOut))
+	out = le.AppendUint64(out, uint64(sa.Pending+sb.Pending))
+	return out, nil
+}
+
+// ---- rendering ----
+
+// renderMaxPairs bounds the matrix rows a report prints; the full
+// matrix stays in the section.
+const renderMaxPairs = 16
+
+func machLabel(m uint16) string {
+	if m == unknownMachine {
+		return "?"
+	}
+	return fmt.Sprintf("m%d", m)
+}
+
+func renderComm(w io.Writer, s *obs.Section) {
+	if s.Version != SectionVersion {
+		fmt.Fprintf(w, "live communication: unsupported payload v%d (%d bytes)\n", s.Version, len(s.Data))
+		return
+	}
+	st, err := DecodeComm(s.Data)
+	if err != nil {
+		fmt.Fprintf(w, "live communication: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "live communication: %d events, %d procs, sends %d (%d B), recvs %d (%d B)\n",
+		st.Events, len(st.Procs), st.Sends, st.BytesSent, st.Recvs, st.BytesRecvd)
+	if len(st.Sizes) > 0 {
+		keys := make([]int, 0, len(st.Sizes))
+		for k := range st.Sizes {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		fmt.Fprintf(w, "  send sizes:")
+		for _, k := range keys {
+			fmt.Fprintf(w, " <=2^%d:%d", k, st.Sizes[k])
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	if len(st.Pairs) == 0 {
+		return
+	}
+	pairs := st.Pairs
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].SendBytes != pairs[j].SendBytes {
+			return pairs[i].SendBytes > pairs[j].SendBytes
+		}
+		return pairKey(pairs[i].Src, pairs[i].Dst) < pairKey(pairs[j].Src, pairs[j].Dst)
+	})
+	fmt.Fprintf(w, "  matrix %-12s %22s %22s\n", "(src->dst)", "sent msgs/bytes", "recvd msgs/bytes")
+	shown := pairs
+	if len(shown) > renderMaxPairs {
+		shown = shown[:renderMaxPairs]
+	}
+	for i := range shown {
+		p := &shown[i]
+		fmt.Fprintf(w, "  %-19s %15d/%-10d %11d/%-10d\n",
+			machLabel(p.Src)+"->"+machLabel(p.Dst), p.SendMsgs, p.SendBytes, p.RecvMsgs, p.RecvBytes)
+	}
+	if n := len(pairs) - len(shown); n > 0 {
+		fmt.Fprintf(w, "  ... and %d more pairs\n", n)
+	}
+}
+
+func renderPar(w io.Writer, s *obs.Section) {
+	if s.Version != SectionVersion {
+		fmt.Fprintf(w, "live parallelism: unsupported payload v%d (%d bytes)\n", s.Version, len(s.Data))
+		return
+	}
+	st, err := DecodePar(s.Data)
+	if err != nil {
+		fmt.Fprintf(w, "live parallelism: %v\n", err)
+		return
+	}
+	curve := st.Curve()
+	fmt.Fprintf(w, "live parallelism: %d procs (%d running), cpu %d ms over %d ms, speedup %.2f\n",
+		curve.Processes, st.Running(), curve.TotalCPUMillis, curve.MakespanMillis, curve.Speedup)
+	if len(curve.Histogram) > 0 {
+		ks := make([]int, 0, len(curve.Histogram))
+		for k := range curve.Histogram {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		fmt.Fprintf(w, "  concurrency:")
+		for _, k := range ks {
+			fmt.Fprintf(w, " %dx:%dms", k, curve.Histogram[k])
+		}
+		fmt.Fprintf(w, "\n")
+	}
+}
+
+func renderMatch(w io.Writer, s *obs.Section) {
+	if s.Version != SectionVersion {
+		fmt.Fprintf(w, "live matching: unsupported payload v%d (%d bytes)\n", s.Version, len(s.Data))
+		return
+	}
+	st, err := DecodeMatch(s.Data)
+	if err != nil {
+		fmt.Fprintf(w, "live matching: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "live matching: %d conns, stream %d, dgram %d, aged out %d, pending %d\n",
+		st.Conns, st.StreamMatched, st.DgramMatched, st.AgedOut, st.Pending)
+}

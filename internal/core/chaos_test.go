@@ -279,6 +279,35 @@ func TestChaosSoak(t *testing.T) {
 		}
 	}
 
+	// The live-analysis sections rode through every crash, restart and
+	// partition of the soak: the filter on yellow kept its collector,
+	// and the merged report renders the streaming §5 operators.
+	for _, want := range []string{"live communication:", "live parallelism:", "live matching:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats report lacks live section %q", want)
+		}
+	}
+
+	// Under a fresh partition the stats command degrades instead of
+	// hanging — and the reachable side still merges and renders its
+	// live sections.
+	if err := s.Partition("yellow", "green"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	ctl.Exec("stats")
+	partText := out.String()
+	s.Heal()
+	if !strings.Contains(partText, "stats: 3/4 machines reporting") ||
+		!strings.Contains(partText, "stats: degraded, missing green") {
+		t.Fatalf("stats under partition:\n%s", partText)
+	}
+	for _, want := range []string{"live communication:", "live parallelism:"} {
+		if !strings.Contains(partText, want) {
+			t.Errorf("partitioned stats report lacks %q", want)
+		}
+	}
+
 	// The per-machine registries agree with the injected fault history
 	// (FaultStats is now a view over the same counters), and the merge
 	// of all machines exports for CI when DPM_STATS_OUT names a file.

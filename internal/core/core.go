@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dpm/internal/analysis"
+	"dpm/internal/analysis/live"
 	"dpm/internal/clock"
 	"dpm/internal/controller"
 	"dpm/internal/daemon"
@@ -60,6 +61,11 @@ type System struct {
 // NewSystem builds and starts a system: machines, networks, accounts,
 // meterdaemons, and the standard filter files on every machine.
 func NewSystem(cfg Config) (*System, error) {
+	// Every filter started on this system gets a live-analysis
+	// collector on its machine's registry, so `stats`, dpmon -watch,
+	// and dpstat report the §5 analyses cluster-wide as the trace
+	// streams in. Idempotent: the factory is a process-wide seam.
+	filter.SetTapFactory(live.Factory())
 	if len(cfg.Machines) == 0 {
 		cfg.Machines = []string{"red", "green", "blue", "yellow"}
 	}

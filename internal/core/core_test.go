@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dpm/internal/analysis"
+	"dpm/internal/analysis/live"
 	"dpm/internal/controller"
 	"dpm/internal/daemon"
 	"dpm/internal/kernel"
@@ -31,6 +32,12 @@ func (w *testOut) String() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.buf.String()
+}
+
+func (w *testOut) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Reset()
 }
 
 const pongPort = 7000
@@ -211,6 +218,50 @@ func TestPipelineStages(t *testing.T) {
 	g := analysis.Structure(events, s.MatchOptions())
 	if len(g.Procs) != 2 || len(g.Edges) < 2 {
 		t.Fatalf("structure = %+v", g)
+	}
+
+	// The live operators attached to the filter agree with the offline
+	// analysis of the filter's own log — the streaming counterpart of
+	// stage 3, computed as the records flowed through. Poll until the
+	// asynchronous log sink catches up with the taps.
+	blue, err := s.Machine("blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "live/offline convergence", func() bool {
+		evs, rerr := s.ReadTrace("blue", "f1")
+		if rerr != nil {
+			return false
+		}
+		sec := blue.Obs().Snapshot().Section(live.SectionComm)
+		if sec == nil {
+			return false
+		}
+		lc, derr := live.DecodeComm(sec.Data)
+		if derr != nil {
+			t.Fatalf("live comm: %v", derr)
+		}
+		off := analysis.Comm(evs)
+		return lc.Events == int64(off.Events) && lc.Sends == int64(off.Sends) &&
+			lc.Recvs == int64(off.Recvs) && lc.BytesSent == off.BytesSent &&
+			lc.BytesRecvd == off.BytesRecvd
+	})
+	sec := blue.Obs().Snapshot().Section(live.SectionPar)
+	if sec == nil {
+		t.Fatal("no live.par section on blue")
+	}
+	lp, err := live.DecodePar(sec.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err = s.ReadTrace("blue", "f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, off := lp.Curve(), analysis.MeasureParallelism(events)
+	if curve.Processes != off.Processes || curve.TotalCPUMillis != off.TotalCPUMillis ||
+		curve.MakespanMillis != off.MakespanMillis {
+		t.Fatalf("live curve %+v, offline %+v", curve, off)
 	}
 }
 

@@ -118,7 +118,11 @@ type eventPlan struct {
 	// not carry one), resolved once so the store metadata extraction
 	// needs no name lookup.
 	pidIdx int
-	rules  []progRule
+	// tapInfo is the precomputed index table record taps read through
+	// (tap.go), resolved here for the same no-lookup-on-hot-path reason
+	// as pidIdx.
+	tapInfo TapInfo
+	rules   []progRule
 }
 
 // Program is a rule set compiled against a description set: one
@@ -169,7 +173,7 @@ func CompileProgram(d *Descriptions, rs Rules) *Program {
 }
 
 func compilePlan(ev *EventDesc, rs Rules) *eventPlan {
-	pl := &eventPlan{ev: ev, wide: len(ev.Fields) > 64, pidIdx: -1}
+	pl := &eventPlan{ev: ev, wide: len(ev.Fields) > 64, pidIdx: -1, tapInfo: buildTapInfo(ev)}
 	for i := range ev.Fields {
 		if ev.Fields[i].Name == "pid" {
 			pl.pidIdx = i

@@ -53,6 +53,10 @@ type Engine struct {
 	// (per-line string) path.
 	lineBuf []byte
 
+	// tap, when non-nil, observes every kept record (tap.go). Not
+	// carried by Clone — pipeline workers each get their own.
+	tap RecordTap
+
 	// Stats counts the engine's record traffic.
 	Received  int
 	Kept      int
@@ -183,6 +187,9 @@ func (e *Engine) ProcessBatch(buf []byte, b *Batch) (rest []byte, err error) {
 				continue
 			}
 			e.Kept++
+			if e.tap != nil {
+				e.tap.TapRecord(&pl.tapInfo, rec)
+			}
 			var discards map[string]bool
 			if rule >= 0 {
 				discards = pl.rules[rule].discards
@@ -202,6 +209,9 @@ func (e *Engine) ProcessBatch(buf []byte, b *Batch) (rest []byte, err error) {
 			continue
 		}
 		e.Kept++
+		if e.tap != nil {
+			e.tap.TapRecord(&pl.tapInfo, rec)
+		}
 		b.Lines = rec.AppendFormat(b.Lines, mask)
 		b.ends = append(b.ends, len(b.Lines))
 		b.Lines = append(b.Lines, '\n')
@@ -282,6 +292,9 @@ func (e *Engine) ProcessEach(buf []byte, emit func(rec *Record, line []byte)) (r
 			e.lineBuf = rec.AppendFormat(e.lineBuf[:0], mask)
 		}
 		e.Kept++
+		if e.tap != nil {
+			e.tap.TapRecord(&pl.tapInfo, rec)
+		}
 		emit(rec, e.lineBuf)
 	}
 }
@@ -384,8 +397,16 @@ func Main(p *kernel.Process) int {
 		return 1
 	}
 
+	// Live streaming analysis taps the pipeline when a factory is
+	// installed (core wires internal/analysis/live here); the section
+	// providers it registers on reg ride every stats snapshot.
+	var taps TapSource
+	if fn := loadTapFactory(); fn != nil {
+		taps = fn(reg, name)
+	}
+
 	logPath := LogPath(name)
-	pipe := NewPipeline(eng, PipelineConfig{Workers: workers, Obs: reg}, Sinks{
+	pipe := NewPipeline(eng, PipelineConfig{Workers: workers, Obs: reg, Taps: taps}, Sinks{
 		Store: st,
 		Log:   func(lines []byte) error { return p.AppendFile(logPath, lines) },
 	}, p.Go)

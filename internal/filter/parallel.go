@@ -46,6 +46,11 @@ type PipelineConfig struct {
 	// which keeps Stats() per-pipeline in tests that run several
 	// pipelines side by side.
 	Obs *obs.Registry
+	// Taps, when non-nil, supplies one RecordTap per worker; each
+	// worker's engine calls its tap for every kept record and flushes
+	// it after every processed chunk. This is how live streaming
+	// analysis observes the record flow (internal/analysis/live).
+	Taps TapSource
 }
 
 // DefaultQueueDepth is the bounded-queue depth used when
@@ -198,6 +203,9 @@ func NewPipeline(proto *Engine, cfg PipelineConfig, sinks Sinks, spawn func(func
 			kept:      reg.Counter(prefix + ".kept"),
 			discarded: reg.Counter(prefix + ".discarded"),
 		}
+		if cfg.Taps != nil {
+			w.eng.SetTap(cfg.Taps.NewTap())
+		}
 		pl.workers = append(pl.workers, w)
 		pl.wg.Add(1)
 		spawn(func() { pl.runWorker(w) })
@@ -320,6 +328,10 @@ func (pl *Pipeline) process(w *pipeWorker, it pipeItem) {
 	w.received.Add(recv)
 	w.kept.Add(kept)
 	w.discarded.Add(disc)
+	// Chunk boundary: publish whatever the worker's tap buffered, even
+	// when the stream just turned out to be corrupt — records tapped
+	// before the bad frame are real.
+	w.eng.TapFlush()
 	if err != nil {
 		// A corrupt stream kills the source, exactly as the sequential
 		// loop closed the connection; later chunks from it are ignored.
@@ -409,6 +421,11 @@ func (pl *Pipeline) Close() {
 		pl.wg.Wait()
 		close(pl.logQ)
 		pl.logWg.Wait()
+		// Workers are done, so every tap has issued its final flush;
+		// a closable tap source may now stop its background work.
+		if tc, ok := pl.cfg.Taps.(TapCloser); ok {
+			tc.Close()
+		}
 	})
 }
 

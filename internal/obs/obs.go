@@ -142,6 +142,12 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	sections map[string]sectionSource
+}
+
+type sectionSource struct {
+	version uint16
+	capture func() []byte
 }
 
 // NewRegistry returns an empty registry.
@@ -150,6 +156,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		sections: make(map[string]sectionSource),
 	}
 }
 
@@ -197,12 +204,32 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// RegisterSection installs a section provider: capture is called at
+// every Snapshot and its bytes become the section's payload (a nil
+// return skips the section for that snapshot). Registering the same
+// name again replaces the provider — a restarted filter re-registers
+// its live-analysis sections without leaking the dead collector's.
+func (r *Registry) RegisterSection(name string, version uint16, capture func() []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sections[name] = sectionSource{version: version, capture: capture}
+}
+
 // Snapshot captures every metric's current value, with names sorted,
 // as the wire- and file-portable form of the registry.
 func (r *Registry) Snapshot() *Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := &Snapshot{TakenUnixNano: time.Now().UnixNano()}
+	// Sections capture first: a section source may flush buffered state
+	// into its registry metrics as part of capturing (the live
+	// collector publishes its gauges then), and the counter and gauge
+	// passes below should see the result, not last flush's values.
+	for name, src := range r.sections {
+		if data := src.capture(); data != nil {
+			s.Sections = append(s.Sections, Section{Name: name, Version: src.version, Data: data})
+		}
+	}
 	for name, c := range r.counters {
 		s.Counters = append(s.Counters, NamedValue{Name: name, Value: c.Load()})
 	}
@@ -221,5 +248,6 @@ func (r *Registry) Snapshot() *Snapshot {
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	sort.Slice(s.Sections, func(i, j int) bool { return s.Sections[i].Name < s.Sections[j].Name })
 	return s
 }

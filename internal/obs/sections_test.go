@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSectionBinaryRoundTrip pins the v2 wire format: sections survive
+// marshal/parse byte-exactly, and a v1 consumer's view (no sections)
+// still parses everything before them.
+func TestSectionBinaryRoundTrip(t *testing.T) {
+	s := &Snapshot{
+		Machine:  "m1",
+		Counters: []NamedValue{{Name: "c", Value: 7}},
+		Sections: []Section{
+			{Name: "alpha", Version: 1, Data: []byte{1, 2, 3}},
+			{Name: "beta", Version: 3, Data: nil},
+		},
+	}
+	got, err := ParseSnapshot(s.MarshalBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sections) != 2 || got.Sections[0].Name != "alpha" || got.Sections[1].Version != 3 {
+		t.Fatalf("sections: %+v", got.Sections)
+	}
+	if !bytes.Equal(got.Sections[0].Data, []byte{1, 2, 3}) || len(got.Sections[1].Data) != 0 {
+		t.Fatalf("section data: %+v", got.Sections)
+	}
+}
+
+// TestSectionJSONRoundTrip checks the JSON form carries sections too
+// (payload bytes base64-encoded by encoding/json).
+func TestSectionJSONRoundTrip(t *testing.T) {
+	s := &Snapshot{Sections: []Section{{Name: "alpha", Version: 2, Data: []byte("payload")}}}
+	got, err := ParseSnapshotJSON(s.EncodeJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Sections, s.Sections) {
+		t.Fatalf("json sections: %+v", got.Sections)
+	}
+}
+
+// TestSectionMergeUnregistered checks the default merge: with no
+// merger registered, both payloads are carried (multiset union), and
+// identical entries are still both kept — counts are meaningful.
+func TestSectionMergeUnregistered(t *testing.T) {
+	a := &Snapshot{Sections: []Section{{Name: "test.opaque", Version: 1, Data: []byte{1}}}}
+	b := &Snapshot{Sections: []Section{
+		{Name: "test.opaque", Version: 1, Data: []byte{2}},
+		{Name: "test.opaque", Version: 2, Data: []byte{9}},
+	}}
+	a.Merge(b)
+	if len(a.Sections) != 3 {
+		t.Fatalf("union merge: %+v", a.Sections)
+	}
+}
+
+// TestSectionMergeRegistered registers a summing merger and checks
+// same-version payloads fold while other versions stay separate.
+func TestSectionMergeRegistered(t *testing.T) {
+	RegisterSectionMerger("test.sum", func(x, y []byte) ([]byte, error) {
+		if len(x) != 1 || len(y) != 1 {
+			return nil, errors.New("bad payload")
+		}
+		return []byte{x[0] + y[0]}, nil
+	})
+	a := &Snapshot{Sections: []Section{{Name: "test.sum", Version: 1, Data: []byte{3}}}}
+	b := &Snapshot{Sections: []Section{
+		{Name: "test.sum", Version: 1, Data: []byte{4}},
+		{Name: "test.sum", Version: 2, Data: []byte{50}},
+	}}
+	a.Merge(b)
+	if len(a.Sections) != 2 {
+		t.Fatalf("merge: %+v", a.Sections)
+	}
+	if s := a.Section("test.sum"); s == nil || s.Version != 1 || !bytes.Equal(s.Data, []byte{7}) {
+		t.Fatalf("folded section: %+v", s)
+	}
+
+	// A failing merger degrades to keeping both payloads.
+	c := &Snapshot{Sections: []Section{{Name: "test.sum", Version: 1, Data: []byte{1}}}}
+	d := &Snapshot{Sections: []Section{{Name: "test.sum", Version: 1, Data: []byte{2, 2}}}} // trips the merger
+	c.Merge(d)
+	if len(c.Sections) != 2 {
+		t.Fatalf("failed merge must keep both: %+v", c.Sections)
+	}
+}
+
+// TestSectionRenderFallback checks a section with no registered
+// renderer prints the opaque one-liner instead of nothing.
+func TestSectionRenderFallback(t *testing.T) {
+	s := &Snapshot{Sections: []Section{{Name: "test.nobody", Version: 4, Data: []byte{1, 2, 3, 4, 5}}}}
+	var out strings.Builder
+	s.Render(&out)
+	if !strings.Contains(out.String(), "section test.nobody v4: 5 bytes") {
+		t.Fatalf("render: %q", out.String())
+	}
+}
+
+// TestRegistrySectionCapture checks Registry.RegisterSection: captures
+// run at snapshot time, nil captures are skipped, and re-registering a
+// name (a restarted provider) replaces the old capture.
+func TestRegistrySectionCapture(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.RegisterSection("test.live", 1, func() []byte { n++; return []byte{byte(n)} })
+	r.RegisterSection("test.dead", 1, func() []byte { return nil })
+	s := r.Snapshot()
+	if len(s.Sections) != 1 || s.Sections[0].Name != "test.live" || !bytes.Equal(s.Sections[0].Data, []byte{1}) {
+		t.Fatalf("snapshot sections: %+v", s.Sections)
+	}
+	r.RegisterSection("test.live", 2, func() []byte { return []byte{99} })
+	s = r.Snapshot()
+	if len(s.Sections) != 1 || s.Sections[0].Version != 2 || !bytes.Equal(s.Sections[0].Data, []byte{99}) {
+		t.Fatalf("replaced section: %+v", s.Sections)
+	}
+}
+
+// TestSectionParseCorrupt pins parser behavior on the fuzz corpus
+// shapes: truncated section blocks and oversized counts error out
+// cleanly instead of panicking or over-allocating.
+func TestSectionParseCorrupt(t *testing.T) {
+	s := &Snapshot{Sections: []Section{{Name: "alpha", Version: 1, Data: []byte{1, 2, 3, 4}}}}
+	good := s.MarshalBinary()
+	for cut := 1; cut < 12; cut++ {
+		if _, err := ParseSnapshot(good[:len(good)-cut]); err == nil {
+			t.Fatalf("truncated by %d parsed", cut)
+		}
+	}
+	// Corrupt the section count to a huge value.
+	bad := append([]byte(nil), good...)
+	// The section count is the u32 right after the (empty) counters,
+	// gauges, hists blocks; find it by re-marshalling a sectionless
+	// snapshot and measuring the prefix.
+	prefix := len((&Snapshot{}).MarshalBinary()) - 4
+	copy(bad[prefix:], []byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ParseSnapshot(bad); err == nil {
+		t.Fatal("oversized section count parsed")
+	}
+}
+
+func fuzzSeedSnapshots() [][]byte {
+	seeds := [][]byte{
+		(&Snapshot{Machine: "m0", Counters: []NamedValue{{Name: "c", Value: 1}}}).MarshalBinary(),
+		(&Snapshot{Sections: []Section{
+			{Name: "live.comm", Version: 1, Data: []byte{1, 0, 0, 0, 0, 0, 0, 0}},
+			{Name: "live.par", Version: 9, Data: []byte("future opaque payload")},
+		}}).MarshalBinary(),
+	}
+	// A truncated section block.
+	whole := (&Snapshot{Sections: []Section{{Name: "live.match", Version: 1, Data: make([]byte, 40)}}}).MarshalBinary()
+	seeds = append(seeds, whole[:len(whole)-17])
+	// A corrupt matrix entry: a live.comm section whose table count
+	// promises more entries than the payload holds.
+	seeds = append(seeds, (&Snapshot{Sections: []Section{
+		{Name: "live.comm", Version: 1, Data: bytes.Repeat([]byte{0xff}, 48)},
+	}}).MarshalBinary())
+	return seeds
+}
+
+// FuzzParseSnapshot hammers the binary parser: arbitrary bytes must
+// never panic, and anything that parses must survive a
+// marshal/re-parse/merge/render cycle unchanged in metric content.
+func FuzzParseSnapshot(f *testing.F) {
+	for _, seed := range fuzzSeedSnapshots() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSnapshot(data)
+		if err != nil {
+			return
+		}
+		re, err := ParseSnapshot(s.MarshalBinary())
+		if err != nil {
+			t.Fatalf("re-parse of marshalled snapshot: %v", err)
+		}
+		s.Render(io.Discard)
+		re.Merge(s)
+		fmt.Fprint(io.Discard, len(re.Sections))
+	})
+}

@@ -25,6 +25,8 @@ type Snapshot struct {
 	Counters      []NamedValue `json:"counters"`
 	Gauges        []NamedValue `json:"gauges"`
 	Hists         []HistValue  `json:"histograms"`
+	// Sections carry opaque, versioned subsystem state (see Section).
+	Sections []Section `json:"sections,omitempty"`
 }
 
 // NamedValue is one counter or gauge reading.
@@ -108,6 +110,7 @@ func (s *Snapshot) Merge(other *Snapshot) {
 	s.Counters = mergeValues(s.Counters, other.Counters)
 	s.Gauges = mergeValues(s.Gauges, other.Gauges)
 	s.Hists = mergeHists(s.Hists, other.Hists)
+	s.Sections = mergeSections(s.Sections, other.Sections)
 }
 
 func mergeValues(a, b []NamedValue) []NamedValue {
@@ -165,22 +168,27 @@ func mergeHists(a, b []HistValue) []HistValue {
 	return out
 }
 
-// Binary snapshot format, version 1. Little-endian throughout:
+// Binary snapshot format, version 2. Little-endian throughout:
 //
 //	"DPOB" magic, u16 version,
 //	string machine, i64 takenUnixNano,
 //	u32 n counters × (string name, i64 value),
 //	u32 n gauges   × (string name, i64 value),
 //	u32 n hists    × (string name, i64 count, i64 sum,
-//	                  u16 n pairs × (u8 bucket, i64 count)).
+//	                  u16 n pairs × (u8 bucket, i64 count)),
+//	u32 n sections × (string name, u16 version, u32 len, bytes)   [v2+]
 //
 // Strings are u16-length-prefixed. A parser ignores any bytes after
-// the sections it knows, and accepts versions above its own by reading
-// the version-1 prefix — future versions extend by appending, the same
-// trailing-field discipline as the daemon's wire bodies.
+// the fields it knows, and accepts versions above its own by reading
+// the prefix it understands — future versions extend by appending, the
+// same trailing-field discipline as the daemon's wire bodies. Version
+// 1 snapshots (pre-section writers) parse as having no sections; a
+// section payload's inner format is versioned independently by its
+// u16, so a producer can evolve one section without touching the
+// snapshot version.
 
 // SnapshotVersion is the binary format version this package writes.
-const SnapshotVersion = 1
+const SnapshotVersion = 2
 
 var snapshotMagic = [4]byte{'D', 'P', 'O', 'B'}
 
@@ -218,6 +226,13 @@ func (s *Snapshot) MarshalBinary() []byte {
 			b = append(b, bc.Bucket)
 			b = le.AppendUint64(b, uint64(bc.Count))
 		}
+	}
+	b = le.AppendUint32(b, uint32(len(s.Sections)))
+	for _, sec := range s.Sections {
+		b = appendString(b, sec.Name)
+		b = le.AppendUint16(b, sec.Version)
+		b = le.AppendUint32(b, uint32(len(sec.Data)))
+		b = append(b, sec.Data...)
 	}
 	return b
 }
@@ -297,8 +312,9 @@ func ParseSnapshot(data []byte) (*Snapshot, error) {
 	if [4]byte(magic) != snapshotMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
 	}
-	if v := r.u16(); v < 1 {
-		return nil, fmt.Errorf("%w: version %d", ErrSnapshotCorrupt, v)
+	version := r.u16()
+	if version < 1 {
+		return nil, fmt.Errorf("%w: version %d", ErrSnapshotCorrupt, version)
 	}
 	s := &Snapshot{}
 	s.Machine = r.str()
@@ -328,6 +344,23 @@ func ParseSnapshot(data []byte) (*Snapshot, error) {
 			h.Buckets = append(h.Buckets, BucketCount{Bucket: r.u8(), Count: r.i64()})
 		}
 		s.Hists = append(s.Hists, h)
+	}
+	if version >= 2 {
+		ns := r.u32()
+		if r.err == nil && ns > maxSnapshotEntries {
+			return nil, fmt.Errorf("%w: %d sections", ErrSnapshotCorrupt, ns)
+		}
+		for i := uint32(0); i < ns && r.err == nil; i++ {
+			sec := Section{Name: r.str(), Version: r.u16()}
+			n := int(r.u32())
+			if body := r.take(n); body != nil {
+				// Copy out: Data must not alias the caller's buffer.
+				sec.Data = append([]byte(nil), body...)
+			}
+			if r.err == nil {
+				s.Sections = append(s.Sections, sec)
+			}
+		}
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -392,6 +425,7 @@ func (s *Snapshot) Render(w io.Writer) {
 				time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
 		}
 	}
+	renderSections(w, s.Sections)
 }
 
 // Get returns the named counter or gauge value and whether it exists —

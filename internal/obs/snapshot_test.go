@@ -37,6 +37,17 @@ func randomSnapshot(rng *rand.Rand) *Snapshot {
 			s.Hists = append(s.Hists, h)
 		}
 	}
+	// Sections from a small pool with no registered merger: merges must
+	// degrade to the order-insensitive multiset union.
+	for _, n := range []string{"sec.x", "sec.y"} {
+		if rng.Intn(2) == 0 {
+			s.Sections = append(s.Sections, Section{
+				Name:    n,
+				Version: uint16(rng.Intn(2) + 1),
+				Data:    []byte{byte(rng.Intn(4))},
+			})
+		}
+	}
 	return s
 }
 
@@ -64,6 +75,9 @@ func comparable(s *Snapshot) Snapshot {
 	}
 	if len(c.Hists) == 0 {
 		c.Hists = nil
+	}
+	if len(c.Sections) == 0 {
+		c.Sections = nil
 	}
 	return *c
 }

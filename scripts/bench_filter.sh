@@ -39,6 +39,12 @@ go test -run '^$' -bench 'BenchmarkQueryParallel' -benchmem -benchtime=20x . >>"
 # report a bytes_moved metric; their ratio is the wire-traffic
 # reduction claimed in EXPERIMENTS.md.
 go test -run '^$' -bench 'BenchmarkAggPushdown' -benchmem -benchtime=20x ./internal/agg/ >>"$tmp"
+# Live streaming analysis overhead: the full pipeline with and without
+# the live tap attached, same iteration count so the ns/op pair is
+# directly comparable. The overhead gate below reads these lines; the
+# per-record allocation gate is TestTapPathZeroAllocs in
+# internal/analysis/live/live_test.go.
+go test -run '^$' -bench 'BenchmarkFilterIngestLive' -benchmem -benchtime=100000x . >>"$tmp"
 
 # Fail loudly rather than archive an empty or lying file: every bench
 # must have produced a result line, and none may have collapsed to zero
@@ -102,6 +108,28 @@ END {
         printf "bench_filter.sh: block-pruned query %.0f ns/op vs %.0f segment-pruned (%.2fx), gate is 1.10x\n", blkp, segp, blkp / segp > "/dev/stderr"; fail = 1
     }
     exit fail
+}' "$tmp"
+
+# Live-analysis overhead gate. The collector's design cost on the
+# ingest thread is one buffer swap per 512 records — the operators run
+# on a drainer goroutine — so on a multi-core host live=on must stay
+# within 1.05x of live=off. On a single-core host there is no spare
+# core: the drainer's operator work serializes into the same wall
+# clock, and the measured ratio includes the full per-record operator
+# cost (~25 ns against a ~200 ns baseline), so the gate widens to
+# 1.30x there. Both bounds are recorded in docs/observability.md.
+ncpu=$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -1 )
+if [ "$ncpu" -gt 1 ] 2>/dev/null; then live_gate=1.05; else live_gate=1.30; fi
+awk -v gate="$live_gate" '
+$1 ~ /^BenchmarkFilterIngestLive\/live=off(-[0-9]+)?$/ { for (i = 3; i < NF; i++) if ($(i+1) == "ns/op") off = $i }
+$1 ~ /^BenchmarkFilterIngestLive\/live=on(-[0-9]+)?$/  { for (i = 3; i < NF; i++) if ($(i+1) == "ns/op") on  = $i }
+END {
+    if (off + 0 <= 0 || on + 0 <= 0) { print "bench_filter.sh: missing FilterIngestLive ns/op results" > "/dev/stderr"; exit 1 }
+    ratio = on / off
+    if (ratio > gate) {
+        printf "bench_filter.sh: live analysis ingest %.0f ns/op vs %.0f without (%.2fx), gate is %.2fx\n", on, off, ratio, gate > "/dev/stderr"
+        exit 1
+    }
 }' "$tmp"
 
 awk '
